@@ -1,0 +1,21 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper, asserts the
+published *shape* (who wins, by roughly what factor, where crossovers
+fall) and prints the rendered text table so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the paper's evaluation section on the
+terminal.  Rendered outputs are also written to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def record(name: str, text: str) -> None:
+    """Print a rendered experiment and persist it for EXPERIMENTS.md."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,25 @@
+"""Ablation benchmarks: beam orthogonality and joint modulation (§6.2-6.3)."""
+
+from repro.experiments import ablations
+from conftest import record
+
+
+def test_ablation_orthogonal_beams(benchmark):
+    ortho = benchmark.pedantic(ablations.run_orthogonality,
+                               kwargs={"num_placements": 200},
+                               rounds=1, iterations=1)
+    modulation = ablations.run_modulation(num_placements=200)
+    search = ablations.run_beam_search()
+    record("ablations", ablations.render(ortho, modulation, search))
+
+    # Section 6.2: orthogonal beams reduce same-loss placements and
+    # widen the coverage angle relative to the Fig. 5(a) design.
+    assert ortho.orthogonal_wins
+    assert (ortho.coverage_angle_orthogonal_deg
+            > ortho.coverage_angle_non_orthogonal_deg + 10.0)
+
+    # Section 6.3: the joint decoder serves at least as many placements
+    # as either single-dimension decoder, and strictly more than ASK
+    # alone (the ambiguous cases exist).
+    assert modulation.joint_dominates
+    assert modulation.success_joint > modulation.success_ask_only

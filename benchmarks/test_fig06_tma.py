@@ -1,0 +1,24 @@
+"""Benchmark: Fig. 6 / Eq. 1-4 — TMA direction-to-harmonic hashing."""
+
+from repro.experiments import fig06_tma
+from conftest import record
+
+
+def test_fig06_tma_hashing(benchmark):
+    result = benchmark.pedantic(fig06_tma.run,
+                                kwargs={"arrival_degs": (0.0, 30.0)},
+                                rounds=1, iterations=1)
+    record("fig06_tma", fig06_tma.render(result))
+
+    # Two co-channel arrivals land on distinct harmonics — the SDM
+    # demultiplexing Fig. 6 illustrates.
+    assert result.directions_separated
+
+    # The analytic Eq. 4 prediction matches the Eq. 1 time-domain
+    # simulation (FFT of the switched-array output).
+    assert result.analysis_matches_timedomain
+
+    # Unwanted copies are suppressed (the plain sequential schedule
+    # reaches ~9.5 dB at the worst on-grid direction; optimised
+    # schedules in [25] reach the paper's 20-30 dB).
+    assert min(result.image_suppressions_db) > 8.0

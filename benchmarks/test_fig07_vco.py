@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 7 (VCO tuning curve) + section 9.1 microbenchmarks."""
+
+import numpy as np
+
+from repro.experiments import fig07_vco
+from conftest import record
+
+
+def test_fig07_vco_tuning_curve(benchmark):
+    result = benchmark.pedantic(fig07_vco.run, rounds=3, iterations=1)
+    record("fig07_vco", fig07_vco.render(result))
+
+    # Shape: monotone sweep covering the full ISM band (Fig. 7).
+    assert np.all(np.diff(result.frequencies_hz) >= 0)
+    assert result.covers_ism_band
+    assert result.frequencies_hz[0] <= 23.96e9
+    assert result.frequencies_hz[-1] >= 24.24e9
+    assert result.frequency_span_hz >= 0.29e9
+
+    # Section 9.1 headline numbers.
+    assert result.max_bitrate_bps == 100e6
+    assert result.node_power_w == 1.1
+    assert abs(result.energy_per_bit_j * 1e9 - 11.0) < 1e-6
+
+    # The FSK nudge is a few-mV control step — trivially implementable.
+    assert result.fsk_voltage_step_v < 0.01

@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 8 — the node's orthogonal beam patterns."""
+
+from repro.experiments import fig08_patterns
+from conftest import record
+
+
+def test_fig08_beam_patterns(benchmark):
+    result = benchmark.pedantic(fig08_patterns.run, rounds=3, iterations=1)
+    record("fig08_patterns", fig08_patterns.render(result))
+
+    # Shape per the measured figure: Beam 1 broadside, Beam 0 at ~±30°,
+    # each nulled at the other's peak, beamwidth in the tens of degrees.
+    assert abs(result.beam1_peak_deg) <= 1.0
+    assert 25.0 <= result.beam0_peak_abs_deg <= 32.0
+    assert result.beam0_depth_at_beam1_peak_db < -15.0
+    assert result.beam1_depth_at_beam0_peak_db < -15.0
+    assert 20.0 <= result.beam1_beamwidth_deg <= 50.0

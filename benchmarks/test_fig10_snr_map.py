@@ -1,0 +1,37 @@
+"""Benchmark: Fig. 10 — room SNR heatmaps with vs without OTAM."""
+
+import numpy as np
+
+from repro.experiments import fig10_snr_map
+from conftest import record
+
+
+def test_fig10_snr_heatmaps(benchmark):
+    result = benchmark.pedantic(fig10_snr_map.run,
+                                kwargs={"grid_step_m": 0.5},
+                                rounds=1, iterations=1)
+    record("fig10_snr_map", fig10_snr_map.render(result))
+
+    with_otam = result.snr_with_otam_db
+    without = result.snr_without_otam_db
+
+    # Fig. 10(a): without OTAM a noticeable set of locations < 5 dB.
+    assert result.fraction_below_5db_without >= 0.05
+
+    # Fig. 10(b): with OTAM the same room is overwhelmingly >= 10 dB
+    # and tops out around the paper's ~30 dB scale.
+    assert result.fraction_above_10db_with >= 0.75
+    assert np.nanmax(with_otam) >= 25.0
+    assert np.nanpercentile(with_otam, 10) >= 6.0
+
+    # OTAM never loses badly anywhere and wins where blockage bites:
+    # the low tail is lifted dramatically.
+    assert (np.nanpercentile(with_otam, 5)
+            > np.nanpercentile(without, 5) + 3.0)
+    assert result.median_gain_db >= 0.0
+
+    # Where the baseline was in trouble (< 5 dB), OTAM lifts every cell
+    # clear of the failure region and gains several dB on average.
+    mask = without < 5.0
+    assert np.all(with_otam[mask] >= 5.0)
+    assert np.mean(with_otam[mask] - without[mask]) >= 4.0

@@ -1,0 +1,24 @@
+"""Benchmark: Fig. 11 — BER CDF with vs without OTAM."""
+
+from repro.experiments import fig11_ber_cdf
+from conftest import record
+
+
+def test_fig11_ber_cdf(benchmark):
+    result = benchmark.pedantic(fig11_ber_cdf.run,
+                                kwargs={"num_placements": 30},
+                                rounds=1, iterations=1)
+    record("fig11_ber_cdf", fig11_ber_cdf.render(result))
+
+    # Published shape: OTAM's median BER is many orders of magnitude
+    # below the baseline's (paper: 1e-12 vs 1e-5).
+    assert result.median_with() < 1e-9
+    assert result.median_without() > 1e-9
+    assert result.median_with() < result.median_without() * 1e-2
+
+    # The 90th percentile improves too (paper: 1e-3 vs 0.3).
+    assert result.p90_with() <= result.p90_without()
+
+    # Both CDFs live in [floor, 0.5].
+    assert result.ber_with_otam.min() >= 1e-15
+    assert result.ber_without_otam.max() <= 0.5

@@ -1,0 +1,29 @@
+"""Benchmark: Fig. 12 — SNR vs distance, facing and not facing."""
+
+import numpy as np
+
+from repro.experiments import fig12_range
+from conftest import record
+
+
+def test_fig12_range(benchmark):
+    result = benchmark.pedantic(fig12_range.run, rounds=1, iterations=1)
+    record("fig12_range", fig12_range.render(result))
+
+    # Shape: SNR decays with distance for both orientations.
+    assert result.monotone_decay()
+    assert result.snr_facing_db[0] > result.snr_facing_db[-1] + 15.0
+
+    # Both scenarios remain usable at 18 m (paper: >=15 dB facing,
+    # ~9 dB not facing; we require the usable-link band).
+    assert result.snr_facing_at_max_m >= 9.0
+    assert result.snr_not_facing_at_max_m >= 6.0
+
+    # Facing is at least as good as not facing at long range (the
+    # not-facing node uses only one arm of the split beam).
+    far = result.distances_m >= 10.0
+    assert np.mean(result.snr_facing_db[far]
+                   - result.snr_not_facing_db[far]) >= 0.0
+
+    # Near-field SNR sits on the paper's ~35-40 dB scale.
+    assert 30.0 <= result.snr_facing_db[0] <= 45.0

@@ -1,0 +1,35 @@
+"""Benchmark: Table 1 — platform comparison."""
+
+from repro.experiments import table1
+from conftest import record
+
+
+def test_table1_platform_comparison(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=3, iterations=1)
+    record("table1_comparison", table1.render(result))
+
+    mmx = result.row("mmX")
+
+    # Column-by-column orderings of the paper's Table 1.
+    assert result.mmx_cheapest_mmwave
+    assert result.mmx_lowest_power_mmwave
+    assert result.mmx_beats_wifi_energy
+
+    # mmX's absolute headline cells.
+    assert mmx.cost_usd <= 125.0
+    assert mmx.power_w == 1.1
+    assert mmx.bitrate_bps == 100e6
+    assert abs(mmx.energy_per_bit_j * 1e9 - 11.0) < 1e-6
+    assert mmx.range_m == 18.0
+
+    # Bitrate ordering: Bluetooth < mmX ~ WiFi < MiRa/OpenMili.
+    assert (result.row("Bluetooth").bitrate_bps
+            < mmx.bitrate_bps
+            < result.row("MiRa").bitrate_bps)
+
+    # Energy ordering: OpenMili < mmX < MiRa-ish < WiFi < Bluetooth.
+    assert mmx.energy_per_bit_j < result.row("WiFi").energy_per_bit_j
+    assert mmx.energy_per_bit_j < result.row("Bluetooth").energy_per_bit_j
+
+    # Cost gap versus research platforms is ~60x (the paper's point).
+    assert result.row("MiRa").cost_usd / mmx.cost_usd > 50.0

@@ -1,0 +1,132 @@
+"""Smart-home scenario: security cameras streaming HD video to a hub.
+
+The paper's motivating deployment (section 1): low-cost cameras need
+8-10 Mbps each, continuously, without loading the WiFi band.  This
+example runs the whole mmX stack for a small home:
+
+* the hub (mmX AP) admits each camera over the Bluetooth side channel
+  and allocates it an FDM channel sized to its demanded rate,
+* each camera streams framed video packets through its ray-traced
+  channel with the joint ASK-FSK pipeline,
+* a resident walks across the living room, repeatedly blocking
+  line-of-sight paths — OTAM keeps the streams alive,
+* per-camera energy and battery-life figures come from the hardware
+  power models.
+
+Run:  python examples/smart_home.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MmxAccessPoint, MmxNode, OtamLink, default_lab_room
+from repro.constants import HD_VIDEO_BITRATE_BPS
+from repro.core.ask_fsk import AskFskConfig
+from repro.hardware.power import EnergyModel
+from repro.network.init_protocol import InitializationProtocol
+from repro.phy.waveform import Waveform, awgn_noise
+from repro.sim.geometry import Point, Segment
+from repro.sim.mobility import LinearCrossing, WalkingBlocker, los_blocker_between
+from repro.sim.placement import Placement
+from repro.sim.geometry import angle_of
+
+# A fast sample-level config keeps the demo snappy; the channel math is
+# rate-independent, so SNR numbers match a full-rate deployment.
+SIM_CONFIG = AskFskConfig(bit_rate_bps=1e6, sample_rate_hz=8e6)
+
+CAMERA_SPOTS = [
+    ("front-door cam", Point(0.6, 5.4)),
+    ("living-room cam", Point(3.4, 4.2)),
+    ("nursery cam", Point(0.8, 2.6)),
+    ("garage cam", Point(3.3, 1.6)),
+]
+
+
+def camera_placement(position: Point, hub: Point) -> Placement:
+    """Cameras are installed roughly facing the hub."""
+    return Placement(
+        node_position=position,
+        node_orientation_rad=angle_of(position, hub),
+        ap_position=hub,
+        ap_orientation_rad=np.pi / 2,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    room = default_lab_room()
+    hub_position = Point(2.0, 0.15)
+
+    # --- initialization phase over the Bluetooth side channel ----------
+    hub = MmxAccessPoint()
+    protocol = InitializationProtocol(hub)
+    cameras = []
+    print("== initialization phase (once, over the side channel) ==")
+    for node_id, (name, position) in enumerate(CAMERA_SPOTS):
+        camera = MmxNode(node_id=node_id, config=SIM_CONFIG)
+        record = protocol.initialize(camera, HD_VIDEO_BITRATE_BPS,
+                                     config=SIM_CONFIG)
+        cameras.append((name, camera, camera_placement(position,
+                                                       hub_position)))
+        print(f"  {name:<16} -> channel {record.center_hz/1e9:.4f} GHz, "
+              f"{record.bandwidth_hz/1e6:.0f} MHz wide "
+              f"({record.attempts} side-channel attempt(s))")
+
+    # --- transmission phase with a resident walking around --------------
+    print("\n== streaming phase (resident crossing the room) ==")
+    walker = WalkingBlocker(
+        los_blocker_between(Point(0.6, 5.4), hub_position),
+        LinearCrossing(Segment(Point(0.4, 2.8), Point(3.6, 2.8)),
+                       speed_mps=1.2))
+    delivered = {name: 0 for name, _, _ in cameras}
+    attempts_per_camera = 8
+    for step in range(attempts_per_camera):
+        blocker = walker.step(0.5)
+        room.clear_blockers()
+        room.add_blocker(blocker)
+        for name, camera, placement in cameras:
+            link = OtamLink(placement=placement, room=room,
+                            config=SIM_CONFIG)
+            channel = link.channel_response()
+            _, clean = camera.transmit(
+                f"{name} frame {step}".encode(), channel)
+            # Scale into the receiver's dBm-referenced units + noise.
+            capture = Waveform(
+                clean.samples + awgn_noise(
+                    len(clean),
+                    10 ** (link.snr_breakdown(channel).noise_dbm / 10.0)
+                    * 10 ** (-1.0),  # demod integrates over the bit
+                    rng),
+                clean.sample_rate_hz)
+            packet = hub.try_receive_packet(camera.node_id, capture)
+            if packet is not None:
+                delivered[name] += 1
+    room.clear_blockers()
+    for name, count in delivered.items():
+        print(f"  {name:<16} delivered {count}/{attempts_per_camera} frames")
+
+    # --- link quality and energy report ---------------------------------
+    print("\n== per-camera link and energy report ==")
+    print(f"  {'camera':<16} {'dist':>5} {'SNR':>6} {'BER est':>9} "
+          f"{'avg power':>10} {'battery(10Wh)':>14}")
+    for name, camera, placement in cameras:
+        link = OtamLink(placement=placement, room=room, config=SIM_CONFIG)
+        breakdown = link.snr_breakdown()
+        energy = EnergyModel(
+            active_power_w=camera.hardware.total_power_w,
+            idle_power_w=0.25,
+            bitrate_bps=camera.hardware.max_bitrate_bps)
+        avg_power = energy.average_power_w(HD_VIDEO_BITRATE_BPS)
+        battery_h = energy.battery_life_hours(10.0, HD_VIDEO_BITRATE_BPS)
+        print(f"  {name:<16} {placement.distance_m:4.1f}m "
+              f"{breakdown.otam_snr_db:5.1f}dB "
+              f"{breakdown.ber_with_otam():9.1e} "
+              f"{avg_power:8.2f} W {battery_h:11.1f} h")
+
+    print("\nAll cameras stream HD video with zero beam searching and no "
+          "WiFi spectrum used.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Mall surveillance: planning a multi-AP mmX deployment (paper §1).
+
+"It can also enable wireless connectivity to surveillance cameras in
+public areas such as malls, banks, libraries, and parks."  A mall
+corridor is far bigger than one AP cell, so this example:
+
+1. lays out a 12 m x 60 m corridor with storefront reflectors,
+2. scatters surveillance cameras along both sides,
+3. greedily plans AP positions until every camera clears 10 dB,
+4. reports the resulting per-AP load and per-camera link margins, and
+5. applies rate adaptation: cameras at the cell edge switch to
+   Hamming-coded frames, close-in cameras run uncoded.
+
+Run:  python examples/surveillance_mall.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.throughput import RateAdapter
+from repro.network.deployment import Deployment, plan_access_points
+from repro.sim.environment import Room, Wall
+from repro.sim.geometry import Point, Segment
+
+
+def mall_corridor() -> Room:
+    """A 12 m x 60 m corridor; storefront glass reflects strongly."""
+    room = Room.rectangular(width_m=12.0, length_m=60.0,
+                            reflection_loss_db=6.0)
+    # Storefront display windows along both walls.
+    for y in (5.0, 14.0, 23.0, 32.0, 41.0, 50.0):
+        room.add_wall(Wall(Segment(Point(0.0, y), Point(0.0, y + 3.0)),
+                           reflection_loss_db=4.0, name=f"glass-west-{y:.0f}",
+                           occludes=False))
+        room.add_wall(Wall(Segment(Point(12.0, y), Point(12.0, y + 3.0)),
+                           reflection_loss_db=4.0, name=f"glass-east-{y:.0f}",
+                           occludes=False))
+    # Kiosks down the corridor spine block the long sight lines.
+    for y in (15.0, 30.0, 45.0):
+        room.add_wall(Wall(Segment(Point(4.5, y), Point(7.5, y)),
+                           reflection_loss_db=6.0, name=f"kiosk-{y:.0f}"))
+    return room
+
+
+def camera_positions(rng: np.random.Generator, count: int = 18) -> list[Point]:
+    """Cameras mounted along the storefronts, both sides."""
+    cameras = []
+    for i in range(count):
+        side = 0.6 if i % 2 == 0 else 11.4
+        y = float(rng.uniform(1.0, 59.0))
+        cameras.append(Point(side, y))
+    return cameras
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    room = mall_corridor()
+    cameras = camera_positions(rng)
+
+    # Candidate AP mounts: ceiling drops along the corridor spine.
+    candidates = [Point(6.0, y) for y in np.arange(4.0, 60.0, 6.0)]
+
+    print(f"== planning APs for {len(cameras)} cameras "
+          f"in a 12 m x 60 m corridor ==")
+    chosen = plan_access_points(room, cameras, candidates,
+                                threshold_db=14.0)
+    print(f"greedy plan uses {len(chosen)} AP(s): "
+          + ", ".join(f"({p.x:.0f}, {p.y:.0f})" for p in chosen))
+
+    deployment = Deployment(room, chosen)
+    assignments = deployment.assign(cameras)
+    coverage = deployment.coverage(cameras, threshold_db=14.0)
+    loads = deployment.load_per_ap(cameras)
+    print(f"coverage at 14 dB: {coverage:.0%}; per-AP load: {loads}")
+
+    print("\n== per-camera links and coding mode ==")
+    adapter = RateAdapter(bit_rate_bps=10e6, payload_bytes=1024)
+    print(f"  {'camera':>6} {'pos':>12} {'AP':>3} {'SNR':>7} "
+          f"{'mode':>10} {'goodput':>9}")
+    for i, assignment in enumerate(assignments):
+        mode = adapter.select(assignment.snr_db)
+        goodput = adapter.evaluate(assignment.snr_db)[mode.name]
+        pos = assignment.node_position
+        print(f"  {i:>6} ({pos.x:4.1f},{pos.y:5.1f}) "
+              f"{assignment.ap_index:>3} {assignment.snr_db:6.1f}dB "
+              f"{mode.name:>10} {goodput/1e6:7.2f} Mbps")
+
+    edge = [a for a in assignments if a.snr_db < 12.0]
+    print(f"\n{len(edge)} cell-edge camera(s) switched to coded frames; "
+          "no beam searching anywhere, ever.")
+
+
+if __name__ == "__main__":
+    main()

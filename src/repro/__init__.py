@@ -1,0 +1,80 @@
+"""mmX — a millimeter wave network for billions of things.
+
+Reproduction of Mazaheri, Ameli, Abedi & Abari (SIGCOMM 2019).  mmX is a
+24 GHz network for low-power, low-cost IoT devices built on Over-The-Air
+Modulation (OTAM): the node transmits a pure carrier and keys data into
+*which of two fixed orthogonal beams* radiates it, so the sparse mmWave
+channel itself creates the ASK signal at the AP — no phased array, no
+beam searching, no feedback.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (default_lab_room, PlacementSampler, OtamLink,
+...                    default_preamble_bits, random_bits)
+>>> rng = np.random.default_rng(0)
+>>> room = default_lab_room()
+>>> placement = PlacementSampler(room, rng).sample()
+>>> link = OtamLink(placement=placement, room=room)
+>>> bits = np.concatenate([default_preamble_bits(), random_bits(128, rng)])
+>>> report = link.simulate_transmission(bits, rng=rng)
+>>> report.ber  # doctest: +SKIP
+0.0
+
+Layout
+------
+``repro.core``      OTAM, joint ASK-FSK, packets, the end-to-end link
+``repro.phy``       DSP, BER theory, coding, preambles
+``repro.antenna``   patch arrays, the orthogonal beam pair, phased arrays
+``repro.channel``   ray tracing, path loss, multipath, noise
+``repro.hardware``  behavioural component and chain models
+``repro.node``      MmxNode / MmxAccessPoint devices
+``repro.network``   FDM, TMA-based SDM, interference, multi-node sims
+``repro.baselines`` beam-search baselines and Table 1 platforms
+``repro.sim``       rooms, blockers, mobility, placements, Monte Carlo
+``repro.experiments`` one module per paper table/figure
+"""
+
+from .constants import CARRIER_FREQUENCY_HZ, NODE_EIRP_DBM
+from .core import (
+    AskFskConfig,
+    DemodResult,
+    JointDemodulator,
+    LinkReport,
+    OtamLink,
+    OtamModulator,
+    Packet,
+    PacketCodec,
+    PacketError,
+    SnrBreakdown,
+)
+from .antenna import OrthogonalBeamPair, PhasedArray, design_mmx_beams
+from .channel import ChannelResponse, trace_paths, two_beam_gains
+from .hardware import AccessPointHardware, NodeHardware
+from .node import DigitalController, MmxAccessPoint, MmxNode
+from .network import (
+    FdmAllocator,
+    InterferenceModel,
+    MultiNodeNetwork,
+    TimeModulatedArray,
+)
+from .baselines import (
+    ExhaustiveBeamSearch,
+    FixedBeamNode,
+    HierarchicalBeamSearch,
+    comparison_table,
+)
+from .phy import default_preamble_bits, random_bits
+from .sim import (
+    Blocker,
+    MonteCarloRunner,
+    Placement,
+    PlacementSampler,
+    Point,
+    Room,
+    default_lab_room,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,19 @@
+"""Baselines mmX is compared against.
+
+Two families: (1) beam-management alternatives — exhaustive and
+hierarchical phased-array search with AP feedback, and the naive
+fixed-beam node (section 6's strawmen); (2) whole-platform comparators
+for Table 1 — MiRa, OpenMili/Pasternack, 802.11n WiFi and Bluetooth.
+"""
+
+from .beam_search import (
+    BeamSearchResult,
+    ExhaustiveBeamSearch,
+    HierarchicalBeamSearch,
+    FeedbackBeamSelection,
+)
+from .fixed_beam import FixedBeamNode
+from .platforms import PlatformSpec, PLATFORMS, mmx_platform, comparison_table
+from .spectrum import WifiChannelModel, MmxCapacityModel, iot_device_capacity
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,33 @@
+"""Receiver noise: thermal floor and AWGN sample generation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import THERMAL_NOISE_DBM_PER_HZ
+
+__all__ = ["noise_power_dbm", "complex_awgn"]
+
+
+def noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Noise power [dBm] in a bandwidth, including receiver noise figure."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    return (THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz)
+            + noise_figure_db)
+
+
+def complex_awgn(n: int, power_dbm: float,
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+    """Complex Gaussian noise samples with total power ``power_dbm``.
+
+    The returned samples live in the same "dBm-referenced amplitude"
+    currency the channel gains use: an amplitude of 1.0 corresponds to
+    0 dBm, so power ``p`` dBm maps to mean |x|^2 of ``10^(p/10)``.
+    """
+    if n < 0:
+        raise ValueError("sample count must be non-negative")
+    rng = rng or np.random.default_rng()
+    power_lin = 10.0 ** (power_dbm / 10.0)
+    sigma = np.sqrt(power_lin / 2.0)
+    return sigma * (rng.standard_normal(n) + 1j * rng.standard_normal(n))

@@ -1,0 +1,81 @@
+"""Path-loss models for 24 GHz indoor propagation.
+
+The headline physics of the paper: "mmWave signals decay very quickly with
+distance" (section 1).  Free-space loss at 24 GHz is ~20 dB worse than at
+2.4 GHz, which is why every other design decision (directional beams, OTAM)
+exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import SPEED_OF_LIGHT
+from ..units import wavelength
+
+__all__ = [
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "friis_received_power_dbm",
+    "oxygen_absorption_db",
+]
+
+
+def free_space_path_loss_db(distance_m, frequency_hz: float) -> np.ndarray:
+    """Friis free-space path loss [dB]: ``20 log10(4 pi d / lambda)``.
+
+    Distances below one wavelength are clamped to one wavelength — the
+    far-field assumption breaks there and negative "loss" would corrupt
+    link budgets.
+    """
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    d = np.asarray(distance_m, dtype=float)
+    if np.any(d < 0):
+        raise ValueError("distance cannot be negative")
+    lam = wavelength(frequency_hz)
+    d = np.maximum(d, lam)
+    return 20.0 * np.log10(4.0 * np.pi * d / lam)
+
+
+def log_distance_path_loss_db(distance_m, frequency_hz: float,
+                              exponent: float = 2.0,
+                              reference_m: float = 1.0) -> np.ndarray:
+    """Log-distance model: FSPL at ``reference_m`` plus ``10 n log10(d/d0)``.
+
+    Indoor LoS mmWave measurements report exponents near 2 (free space);
+    cluttered NLoS fits use 2.5-3.  Exposed for ablations.
+    """
+    if exponent <= 0:
+        raise ValueError("path-loss exponent must be positive")
+    if reference_m <= 0:
+        raise ValueError("reference distance must be positive")
+    d = np.maximum(np.asarray(distance_m, dtype=float), reference_m)
+    pl0 = free_space_path_loss_db(reference_m, frequency_hz)
+    return pl0 + 10.0 * exponent * np.log10(d / reference_m)
+
+
+def friis_received_power_dbm(eirp_dbm: float, rx_gain_dbi: float,
+                             distance_m, frequency_hz: float) -> np.ndarray:
+    """Received power [dBm] over a clear free-space path."""
+    return (eirp_dbm + rx_gain_dbi
+            - free_space_path_loss_db(distance_m, frequency_hz))
+
+
+def oxygen_absorption_db(distance_m, frequency_hz: float) -> np.ndarray:
+    """Atmospheric absorption [dB] over a path.
+
+    Negligible at 24 GHz (~0.1 dB/km) but ~15 dB/km at 60 GHz, where the
+    O2 resonance sits.  Included so the 60 GHz variants (OpenMili-class
+    platforms in Table 1) pay the right penalty.
+    """
+    d_km = np.asarray(distance_m, dtype=float) / 1000.0
+    f_ghz = frequency_hz / 1e9
+    if 57.0 <= f_ghz <= 64.0:
+        rate_db_per_km = 15.0
+    elif 22.0 <= f_ghz <= 26.0:
+        # Water-vapour line near 22 GHz contributes ~0.2 dB/km.
+        rate_db_per_km = 0.2
+    else:
+        rate_db_per_km = 0.1
+    return rate_db_per_km * d_km

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``reproduce [names...]``   regenerate paper tables/figures (all by default)
+``link``                   analytic link report for one placement
+``network --nodes N``      one multi-node snapshot
+``characterize``           channel statistics for the default lab
+``list``                   available experiment names
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="mmX (SIGCOMM 2019) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("reproduce",
+                         help="regenerate paper tables and figures")
+    rep.add_argument("names", nargs="*",
+                     help="experiment names (default: all)")
+
+    link = sub.add_parser("link", help="analytic link report")
+    link.add_argument("--distance", type=float, default=3.0,
+                      help="node-AP distance [m]")
+    link.add_argument("--offset-deg", type=float, default=0.0,
+                      help="node orientation offset from the AP [deg]")
+    link.add_argument("--blocked", action="store_true",
+                      help="put a person in the line of sight")
+
+    net = sub.add_parser("network", help="multi-node snapshot")
+    net.add_argument("--nodes", type=int, default=10)
+    net.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("characterize", help="channel statistics")
+    sub.add_parser("list", help="list experiment names")
+    return parser
+
+
+def _cmd_reproduce(names: list[str]) -> int:
+    from .experiments import (ablations, extensions, fig06_tma, fig07_vco,
+                              fig08_patterns, fig09_waveforms, fig10_snr_map,
+                              fig11_ber_cdf, fig12_range, fig13_multinode,
+                              table1)
+
+    registry = {
+        "fig06": lambda: fig06_tma.render(fig06_tma.run()),
+        "fig07": lambda: fig07_vco.render(fig07_vco.run()),
+        "fig08": lambda: fig08_patterns.render(fig08_patterns.run()),
+        "fig09": lambda: fig09_waveforms.render(fig09_waveforms.run()),
+        "fig10": lambda: fig10_snr_map.render(fig10_snr_map.run()),
+        "fig11": lambda: fig11_ber_cdf.render(fig11_ber_cdf.run()),
+        "fig12": lambda: fig12_range.render(fig12_range.run()),
+        "fig13": lambda: fig13_multinode.render(fig13_multinode.run()),
+        "table1": lambda: table1.render(table1.run()),
+        "ablations": lambda: "\n\n".join([
+            ablations.render(ablations.run_orthogonality(),
+                             ablations.run_modulation(),
+                             ablations.run_beam_search()),
+            ablations.render_oracle(ablations.run_oracle_comparison()),
+        ]),
+        "extensions": lambda: "\n\n".join([
+            extensions.render_mobility(extensions.run_mobility(
+                duration_s=30.0)),
+            extensions.render_scheduler(extensions.run_scheduler(trials=10)),
+            extensions.render_60ghz(extensions.run_60ghz()),
+            extensions.render_channel_stats(extensions.run_channel_stats()),
+            extensions.render_streaming(extensions.run_streaming()),
+        ]),
+    }
+    chosen = names or list(registry)
+    unknown = [n for n in chosen if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for name in chosen:
+        print(f"===== {name} =====")
+        print(registry[name]())
+        print()
+    return 0
+
+
+def _cmd_link(distance: float, offset_deg: float, blocked: bool) -> int:
+    from .core.link import OtamLink
+    from .sim.environment import default_lab_room
+    from .sim.geometry import Point, angle_of, normalize_angle
+    from .sim.mobility import los_blocker_between
+    from .sim.placement import Placement
+
+    room = default_lab_room()
+    ap = Point(room.width_m / 2.0, 0.15)
+    node = Point(room.width_m / 2.0, 0.15 + distance)
+    if not room.contains(node, margin=0.1):
+        print("distance does not fit in the 6 m lab room", file=sys.stderr)
+        return 2
+    toward = angle_of(node, ap)
+    placement = Placement(node,
+                          normalize_angle(toward + np.radians(offset_deg)),
+                          ap, np.pi / 2)
+    if blocked:
+        room.add_blocker(los_blocker_between(node, ap))
+    breakdown = OtamLink(placement=placement, room=room).snr_breakdown()
+    print(f"distance {distance:.1f} m, offset {offset_deg:+.0f} deg, "
+          f"blocked={blocked}")
+    print(f"  Beam 1 level   : {breakdown.beam1_level_dbm:7.1f} dBm")
+    print(f"  Beam 0 level   : {breakdown.beam0_level_dbm:7.1f} dBm")
+    print(f"  SNR with OTAM  : {breakdown.otam_snr_db:7.1f} dB")
+    print(f"  SNR without    : {breakdown.no_otam_snr_db:7.1f} dB")
+    print(f"  predicted BER  : {breakdown.ber_with_otam():.2e} (OTAM) / "
+          f"{breakdown.ber_without_otam():.2e} (baseline)")
+    print(f"  inverted       : {breakdown.inverted}")
+    return 0
+
+
+def _cmd_network(nodes: int, seed: int) -> int:
+    from .network.network import MultiNodeNetwork
+    from .sim.environment import default_lab_room
+
+    network = MultiNodeNetwork(default_lab_room(),
+                               np.random.default_rng(seed))
+    snapshot = network.evaluate(nodes)
+    print(f"{nodes} simultaneous node(s), seed {seed}:")
+    for stats in snapshot.nodes:
+        print(f"  node {stats.node_id:2d}: ch {stats.channel_index:2d}  "
+              f"SINR {stats.sinr_db:5.1f} dB")
+    print(f"mean {snapshot.mean_sinr_db:.1f} dB, "
+          f"min {snapshot.min_sinr_db:.1f} dB")
+    return 0
+
+
+def _cmd_characterize() -> int:
+    from .channel.statistics import characterize
+    from .sim.environment import default_lab_room
+    from .sim.placement import PlacementSampler
+
+    room = default_lab_room()
+    sampler = PlacementSampler(room, np.random.default_rng(0))
+    stats = characterize(room, sampler.sample_many(60))
+    print("channel statistics over 60 placements in the 6x4 m lab:")
+    print(f"  paths: mean {stats.mean_path_count:.1f}, "
+          f"median {stats.median_path_count:.0f}, "
+          f"max {stats.max_path_count} (sparse: {stats.is_sparse})")
+    print(f"  median K-factor      : {stats.median_k_factor_db:.1f} dB")
+    print(f"  median delay spread  : {stats.median_delay_spread_ns:.2f} ns")
+    print(f"  median angular spread: "
+          f"{stats.median_angular_spread_deg:.0f} deg")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args.names)
+    if args.command == "link":
+        return _cmd_link(args.distance, args.offset_deg, args.blocked)
+    if args.command == "network":
+        return _cmd_network(args.nodes, args.seed)
+    if args.command == "characterize":
+        return _cmd_characterize()
+    if args.command == "list":
+        print("fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 "
+              "table1 ablations extensions")
+        return 0
+    raise AssertionError("unreachable")

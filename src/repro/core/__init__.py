@@ -1,0 +1,24 @@
+"""mmX core: OTAM modulation, joint ASK-FSK, packets and the full link.
+
+This is the paper's contribution.  :mod:`repro.core.otam` turns bits into
+beam selections (modulation happens *over the air*),
+:mod:`repro.core.demodulator` is the AP-side joint ASK-FSK decoder with
+preamble-based polarity resolution, :mod:`repro.core.packet` frames bits,
+and :mod:`repro.core.link` wires node hardware, antennas, the channel and
+the AP into one end-to-end simulated link.
+"""
+
+from .ask_fsk import AskFskConfig
+from .otam import OtamModulator, transmitted_beam_bits
+from .demodulator import JointDemodulator, DemodResult
+from .packet import Packet, PacketCodec, PacketError
+from .link import OtamLink, LinkReport, SnrBreakdown
+from .throughput import (
+    CODING_MODES,
+    CodingMode,
+    RateAdapter,
+    frame_success_probability,
+    goodput_bps,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

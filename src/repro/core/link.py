@@ -1,0 +1,226 @@
+"""End-to-end OTAM link: node hardware -> antennas -> room -> AP -> decoder.
+
+Two complementary views of the same link:
+
+* **Analytic** (:meth:`OtamLink.snr_breakdown`) — closed-form received
+  levels, decision SNRs and predicted BER from the traced channel.  This
+  mirrors the paper's own method: measure SNR, then substitute into
+  standard ASK BER tables (section 9.3).
+* **Sample-level** (:meth:`OtamLink.simulate_transmission`) — generate the
+  actual over-the-air waveform, add receiver noise, run the joint
+  demodulator, count bit errors.  This is the "USRP capture" substitute.
+
+Calibration: ``implementation_loss_db`` (default 10 dB) absorbs
+everything between ideal Friis propagation and the authors' testbed
+(USRP quantisation, CFO, envelope-detector losses, antenna mismatches).
+It is chosen once so the LoS SNR-vs-distance curve lands on the paper's
+Fig. 12 levels, then held fixed across *all* experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..antenna.element import DipoleElement
+from ..antenna.orthogonal import OrthogonalBeamPair, measured_mmx_beams
+from ..channel.multipath import ChannelResponse, two_beam_gains
+from ..channel.noise import complex_awgn, noise_power_dbm
+from ..constants import (
+    AP_ANTENNA_GAIN_DBI,
+    CARRIER_FREQUENCY_HZ,
+    EVAL_NODE_CHANNEL_BANDWIDTH_HZ,
+    NODE_EIRP_DBM,
+)
+from ..hardware.chains import AccessPointHardware
+from ..phy import ber as ber_theory
+from ..phy.bits import bit_error_rate
+from ..phy.waveform import Waveform
+from ..sim.placement import Placement
+from .ask_fsk import AskFskConfig
+from .demodulator import DemodResult, JointDemodulator
+from .otam import OtamModulator
+
+__all__ = ["SnrBreakdown", "LinkReport", "OtamLink"]
+
+
+@dataclass(frozen=True)
+class SnrBreakdown:
+    """Analytic link quality figures for one placement."""
+
+    beam1_level_dbm: float
+    """Received power when the node transmits on Beam 1."""
+
+    beam0_level_dbm: float
+    """Received power when the node transmits on Beam 0."""
+
+    noise_dbm: float
+    """Receiver noise floor in the measurement bandwidth."""
+
+    ask_snr_db: float
+    """SNR of the OTAM ASK decision (level *difference* vs noise)."""
+
+    fsk_snr_db: float
+    """SNR of the joint tone-discrimination decision.
+
+    The two bits ride on *orthogonal* tones (section 6.3 / the
+    AskFskConfig default), so the binary decision distance is
+    ``sqrt(|h1|^2 + |h0|^2)`` — the mean of the two level powers vs
+    noise.  When one beam's signal vanishes this degenerates to OOK on
+    the surviving tone (-3 dB vs the ASK branch); when the levels are
+    equal it equals either level's SNR, which is why FSK rescues the
+    ambiguous-amplitude placements."""
+
+    no_otam_snr_db: float
+    """SNR of the conventional baseline: OOK through Beam 1 only."""
+
+    inverted: bool
+    """Whether Beam 0 arrives stronger than Beam 1 (blocked LoS)."""
+
+    @property
+    def otam_snr_db(self) -> float:
+        """Effective joint ASK-FSK SNR: the better branch wins (§6.3)."""
+        return max(self.ask_snr_db, self.fsk_snr_db)
+
+    @property
+    def ask_contrast_db(self) -> float:
+        """|level gap| between the beams — small means 'need FSK'."""
+        return abs(self.beam1_level_dbm - self.beam0_level_dbm)
+
+    def ber_with_otam(self) -> float:
+        """Predicted BER of the joint decoder (best branch's curve).
+
+        Uses the paper's §9.3 methodology: substitute SNR into the
+        standard ASK BER table (:func:`repro.phy.ber.ber_ask_table`)
+        for the amplitude branch, the non-coherent FSK curve for the
+        frequency branch.
+        """
+        ask = float(ber_theory.ber_ask_table(self.ask_snr_db))
+        fsk = float(ber_theory.ber_fsk_noncoherent(self.fsk_snr_db))
+        return min(ask, fsk)
+
+    def ber_without_otam(self) -> float:
+        """Predicted BER of the Beam-1-only OOK baseline (same table)."""
+        return float(ber_theory.ber_ask_table(self.no_otam_snr_db))
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Sample-level transmission outcome."""
+
+    demod: DemodResult
+    bit_errors: int
+    ber: float
+    num_bits: int
+
+
+@dataclass
+class OtamLink:
+    """A node-AP link through a simulated room."""
+
+    placement: Placement
+    room: object
+    config: AskFskConfig = field(default_factory=AskFskConfig)
+    beams: OrthogonalBeamPair = None
+    ap_element: DipoleElement = field(default_factory=DipoleElement)
+    ap_hardware: AccessPointHardware = field(default_factory=AccessPointHardware)
+    frequency_hz: float = CARRIER_FREQUENCY_HZ
+    eirp_dbm: float = NODE_EIRP_DBM
+    ap_gain_dbi: float = AP_ANTENNA_GAIN_DBI
+    implementation_loss_db: float = 10.0
+    max_bounces: int = 2
+
+    def __post_init__(self):
+        if self.beams is None:
+            self.beams = measured_mmx_beams()
+        self.modulator = OtamModulator(
+            self.config,
+            eirp_dbm=(self.eirp_dbm - self.implementation_loss_db))
+        self.demodulator = JointDemodulator(self.config)
+
+    # --- channel ------------------------------------------------------------
+
+    def channel_response(self) -> ChannelResponse:
+        """Trace the room and evaluate both beams for this placement."""
+        return two_beam_gains(
+            self.placement.node_position,
+            self.placement.ap_position,
+            self.room,
+            beams=self.beams,
+            ap_element=self.ap_element,
+            node_orientation_rad=self.placement.node_orientation_rad,
+            ap_orientation_rad=self.placement.ap_orientation_rad,
+            frequency_hz=self.frequency_hz,
+            max_bounces=self.max_bounces,
+        )
+
+    # --- analytic view --------------------------------------------------------
+
+    def _level_dbm(self, gain: float) -> float:
+        """Received power [dBm] for a channel field gain magnitude."""
+        if gain <= 0.0:
+            return float("-inf")
+        return (self.eirp_dbm + self.ap_gain_dbi
+                - self.implementation_loss_db
+                + 20.0 * math.log10(gain))
+
+    def snr_breakdown(self, channel: ChannelResponse | None = None,
+                      bandwidth_hz: float = EVAL_NODE_CHANNEL_BANDWIDTH_HZ,
+                      ) -> SnrBreakdown:
+        """Closed-form link quality for this placement.
+
+        ``bandwidth_hz`` defaults to the 25 MHz per-node channel of the
+        multi-node experiment (section 9.5) so SNR numbers sit on the
+        paper's Fig. 10/12 scales.
+        """
+        ch = channel or self.channel_response()
+        noise = noise_power_dbm(bandwidth_hz,
+                                self.ap_hardware.cascade_noise_figure_db)
+        level1 = self._level_dbm(abs(ch.h1))
+        level0 = self._level_dbm(abs(ch.h0))
+        ask_snr = self._level_dbm(ch.difference_gain()) - noise
+        joint_gain = math.sqrt((abs(ch.h1) ** 2 + abs(ch.h0) ** 2) / 2.0)
+        fsk_snr = self._level_dbm(joint_gain) - noise
+        no_otam = level1 - noise
+        return SnrBreakdown(
+            beam1_level_dbm=level1,
+            beam0_level_dbm=level0,
+            noise_dbm=noise,
+            ask_snr_db=ask_snr,
+            fsk_snr_db=fsk_snr,
+            no_otam_snr_db=no_otam,
+            inverted=ch.inverted,
+        )
+
+    # --- sample-level view ------------------------------------------------------
+
+    def received_with_noise(self, bits, channel: ChannelResponse | None = None,
+                            rng: np.random.Generator | None = None,
+                            use_otam: bool = True) -> Waveform:
+        """Noisy AP baseband capture for a transmitted bit sequence."""
+        ch = channel or self.channel_response()
+        if use_otam:
+            clean = self.modulator.received_waveform(bits, ch)
+        else:
+            clean = self.modulator.ask_only_waveform(bits, ch)
+        noise_dbm = noise_power_dbm(self.config.sample_rate_hz,
+                                    self.ap_hardware.cascade_noise_figure_db)
+        noise = complex_awgn(len(clean), noise_dbm, rng)
+        return Waveform(clean.samples + noise, clean.sample_rate_hz)
+
+    def simulate_transmission(self, bits,
+                              channel: ChannelResponse | None = None,
+                              rng: np.random.Generator | None = None,
+                              use_otam: bool = True) -> LinkReport:
+        """Transmit, receive with noise, jointly demodulate, count errors."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        wave = self.received_with_noise(bits, channel, rng, use_otam)
+        demod = self.demodulator.demodulate(wave)
+        n = min(bits.size, demod.bits.size)
+        errors = int(np.count_nonzero(bits[:n] != demod.bits[:n]))
+        errors += abs(bits.size - demod.bits.size)
+        ber = errors / bits.size if bits.size else 0.0
+        return LinkReport(demod=demod, bit_errors=errors, ber=ber,
+                          num_bits=int(bits.size))

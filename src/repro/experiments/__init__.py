@@ -1,0 +1,52 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+Each module exposes ``run(seed=0, ...) -> <Result>`` returning plain data
+and ``render(result) -> str`` producing the text table/series that stands
+in for the paper's plot.  The benchmark suite calls ``run`` and asserts
+the published *shape*; the examples print ``render``.
+
+Index (see DESIGN.md for the full mapping):
+
+========  ===========================================================
+fig06     TMA direction-to-harmonic hashing (section 7, Fig. 6)
+fig07     VCO tuning curve + node microbenchmarks (Fig. 7, section 9.1)
+fig08     Orthogonal beam patterns (Fig. 8)
+fig09     ASK-decodable vs FSK-decodable captures (Fig. 9, section 6.3)
+fig10     Room SNR heatmaps with/without OTAM (Fig. 10)
+fig11     BER CDF with/without OTAM (Fig. 11)
+fig12     SNR vs distance, facing / not facing (Fig. 12)
+fig13     Mean SINR vs number of simultaneous nodes (Fig. 13)
+table1    Platform comparison (Table 1)
+ablations Orthogonality / joint-modulation / beam-search / oracle
+extensions Mobility, SDM scheduling, 60 GHz, channel self-check,
+          MAC streaming, spectrum-strain motivation
+========  ===========================================================
+"""
+
+from . import (
+    ablations,
+    extensions,
+    fig06_tma,
+    fig07_vco,
+    fig08_patterns,
+    fig09_waveforms,
+    fig10_snr_map,
+    fig11_ber_cdf,
+    fig12_range,
+    fig13_multinode,
+    table1,
+)
+
+__all__ = [
+    "ablations",
+    "extensions",
+    "fig06_tma",
+    "fig07_vco",
+    "fig08_patterns",
+    "fig09_waveforms",
+    "fig10_snr_map",
+    "fig11_ber_cdf",
+    "fig12_range",
+    "fig13_multinode",
+    "table1",
+]

@@ -1,0 +1,84 @@
+"""Fig. 7 + section 9.1 microbenchmarks: VCO tuning and node headline numbers.
+
+Paper facts reproduced here:
+* VCO covers 23.95-24.25 GHz over 3.5-4.9 V — the whole 24 GHz ISM band.
+* Small voltage changes give the small frequency nudges joint ASK-FSK needs.
+* Switch limits the node to 100 Mbps; node draws 1.1 W -> 11 nJ/bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import ISM_24GHZ_HIGH_HZ, ISM_24GHZ_LOW_HZ
+from ..hardware.chains import NodeHardware
+from ..hardware.vco import HMC533VCO
+from .report import format_series, format_table
+
+__all__ = ["Fig7Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Tuning curve plus the section 9.1 microbenchmark numbers."""
+
+    voltages_v: np.ndarray
+    frequencies_hz: np.ndarray
+    covers_ism_band: bool
+    max_bitrate_bps: float
+    node_power_w: float
+    energy_per_bit_j: float
+    fsk_voltage_step_v: float
+
+    @property
+    def frequency_span_hz(self) -> float:
+        """Total tuning span."""
+        return float(self.frequencies_hz[-1] - self.frequencies_hz[0])
+
+
+def run(num_points: int = 31,
+        fsk_deviation_hz: float = 500e3) -> Fig7Result:
+    """Sweep the VCO model and collect the node microbenchmarks.
+
+    ``fsk_deviation_hz`` is used to report how small a control-voltage
+    step implements the joint ASK-FSK frequency nudge at mid-band.
+    """
+    vco = HMC533VCO()
+    voltages = np.linspace(3.4, 5.0, num_points)
+    freqs = vco.frequency_hz(voltages)
+    hw = NodeHardware()
+    mid_v = 0.5 * (vco.v_min + vco.v_max)
+    sensitivity = vco.tuning_sensitivity_hz_per_v(mid_v)
+    return Fig7Result(
+        voltages_v=voltages,
+        frequencies_hz=np.asarray(freqs),
+        covers_ism_band=vco.covers_ism_band(),
+        max_bitrate_bps=hw.max_bitrate_bps,
+        node_power_w=hw.total_power_w,
+        energy_per_bit_j=hw.energy_per_bit_j(),
+        fsk_voltage_step_v=fsk_deviation_hz / sensitivity,
+    )
+
+
+def render(result: Fig7Result) -> str:
+    """Text rendering: the tuning curve plus the microbenchmark block."""
+    curve = format_series(
+        [f"{v:.2f}" for v in result.voltages_v],
+        [f"{f/1e9:.4f}" for f in result.frequencies_hz],
+        "tuning voltage [V]", "frequency [GHz]",
+        title="Fig. 7 — VCO carrier frequency vs control voltage")
+    micro = format_table(
+        ["metric", "value", "paper"],
+        [
+            ["covers 24 GHz ISM band", str(result.covers_ism_band), "yes"],
+            ["max bitrate [Mbps]", result.max_bitrate_bps / 1e6, 100],
+            ["node power [W]", result.node_power_w, 1.1],
+            ["energy/bit [nJ]", result.energy_per_bit_j * 1e9, 11],
+            ["FSK nudge step [mV]", result.fsk_voltage_step_v * 1e3, "small"],
+        ],
+        title="Section 9.1 microbenchmarks")
+    band = (f"ISM band: {ISM_24GHZ_LOW_HZ/1e9:.2f}-"
+            f"{ISM_24GHZ_HIGH_HZ/1e9:.2f} GHz")
+    return "\n\n".join([curve, micro, band])

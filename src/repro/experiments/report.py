@@ -1,0 +1,75 @@
+"""Plain-text rendering helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ascii_heatmap", "cdf_points"]
+
+
+def format_table(headers: list[str], rows: list[list],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0 or (1e-3 <= abs(value) < 1e5):
+            return f"{value:.3g}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def format_series(x, y, x_label: str, y_label: str,
+                  title: str | None = None) -> str:
+    """Render paired series as a two-column table."""
+    rows = [[xi, yi] for xi, yi in zip(x, y)]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def ascii_heatmap(grid: np.ndarray, low: float, high: float,
+                  title: str | None = None) -> str:
+    """Coarse ASCII rendering of a 2-D field (rows printed top-down).
+
+    Values map onto a 10-step character ramp between ``low`` and
+    ``high``; NaNs render as spaces.
+    """
+    ramp = " .:-=+*#%@"
+    grid = np.asarray(grid, dtype=float)
+    if high <= low:
+        raise ValueError("need high > low")
+    lines = [] if title is None else [title]
+    for row in grid[::-1]:
+        chars = []
+        for v in row:
+            if math.isnan(v):
+                chars.append(" ")
+                continue
+            t = min(max((v - low) / (high - low), 0.0), 1.0)
+            chars.append(ramp[min(int(t * len(ramp)), len(ramp) - 1)])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def cdf_points(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative probabilities."""
+    x = np.sort(np.asarray(samples, dtype=float))
+    if x.size == 0:
+        raise ValueError("no samples")
+    p = np.arange(1, x.size + 1) / x.size
+    return x, p

@@ -1,0 +1,89 @@
+"""Table 1: mmX vs MiRa, OpenMili/Pasternack, WiFi and Bluetooth (§10).
+
+The mmX row is derived from the hardware models; the rest are the paper's
+spec constants.  What matters for reproduction is the *ordering*: mmX is
+the cheapest and lowest-power mmWave platform, its bitrate sits between
+Bluetooth/WiFi and the Gbps platforms, and its energy per bit undercuts
+WiFi and Bluetooth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.platforms import PlatformSpec, comparison_table
+from .report import format_table
+
+__all__ = ["Table1Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """All platform rows plus derived ordering checks."""
+
+    rows: list[PlatformSpec]
+
+    def row(self, name_prefix: str) -> PlatformSpec:
+        """Find a platform row by name prefix."""
+        for spec in self.rows:
+            if spec.name.lower().startswith(name_prefix.lower()):
+                return spec
+        raise KeyError(f"no platform named {name_prefix!r}")
+
+    @property
+    def mmx_cheapest_mmwave(self) -> bool:
+        """mmX costs less than every other mmWave platform."""
+        mmx = self.row("mmX")
+        return all(mmx.cost_usd < s.cost_usd for s in self.rows
+                   if s.is_mmwave and s.name != mmx.name)
+
+    @property
+    def mmx_lowest_power_mmwave(self) -> bool:
+        """mmX draws less power than every other mmWave platform."""
+        mmx = self.row("mmX")
+        return all(mmx.power_w < s.power_w for s in self.rows
+                   if s.is_mmwave and s.name != mmx.name)
+
+    @property
+    def mmx_beats_wifi_energy(self) -> bool:
+        """mmX's nJ/bit is below 802.11n's (the headline in §1)."""
+        return (self.row("mmX").energy_per_bit_j
+                < self.row("WiFi").energy_per_bit_j)
+
+
+def run() -> Table1Result:
+    """Assemble the comparison rows."""
+    return Table1Result(rows=comparison_table())
+
+
+def render(result: Table1Result) -> str:
+    """The full Table 1 plus the ordering checks."""
+    rows = []
+    for s in result.rows:
+        rows.append([
+            s.name,
+            f"{s.carrier_ghz:.1f}",
+            f"{s.cost_usd:,.0f}",
+            f"{s.power_w:.3g}",
+            f"{s.tx_power_dbm:.0f}",
+            f"{s.bandwidth_hz/1e6:.0f}",
+            f"{s.bitrate_bps/1e6:.0f}",
+            f"{s.energy_per_bit_j*1e9:.1f}",
+            f"{s.range_m:.0f}",
+        ])
+    table = format_table(
+        ["platform", "carrier [GHz]", "cost [$]", "power [W]",
+         "Tx [dBm]", "BW [MHz]", "bitrate [Mbps]", "energy [nJ/bit]",
+         "range [m]"],
+        rows, title="Table 1 — platform comparison")
+    checks = format_table(
+        ["ordering check", "holds"],
+        [
+            ["mmX cheapest mmWave platform",
+             str(result.mmx_cheapest_mmwave)],
+            ["mmX lowest-power mmWave platform",
+             str(result.mmx_lowest_power_mmwave)],
+            ["mmX energy/bit below WiFi",
+             str(result.mmx_beats_wifi_energy)],
+        ])
+    return "\n\n".join([table, checks])

@@ -1,0 +1,25 @@
+"""Behavioural models of the mmX bill of materials (sections 5 and 8).
+
+No RF hardware exists in this reproduction; instead each component the
+paper names — HMC533 VCO, ADRF5020 SPDT switch, HMC751 LNA, HMC264
+sub-harmonic mixer, ADF5356 PLL, the coupled-line microstrip filter —
+is modelled by the datasheet behaviour the evaluation actually depends
+on: tuning curves, gains, noise figures, losses, switching limits, power
+draw and unit cost.  Assembled chains expose cascade noise figure and
+total power/cost, which feed Table 1 and the 11 nJ/bit microbenchmark.
+"""
+
+from .components import RFComponent, ComponentSpec
+from .vco import HMC533VCO
+from .switch import ADRF5020Switch
+from .frontend import (
+    HMC751LNA,
+    HMC264SubharmonicMixer,
+    ADF5356PLL,
+    MicrostripFilter,
+)
+from .chains import NodeHardware, AccessPointHardware
+from .usrp import UsrpReceiver
+from .power import EnergyModel, energy_per_bit_j
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,84 @@
+"""ADRF5020 SPDT switch model (section 8.1).
+
+The switch is the node's modulator: the digital controller toggles it to
+steer the VCO tone into Beam 1 or Beam 0.  Its datasheet limits are load
+bearing: the 100 MHz maximum toggle rate caps the node at 100 Mbps
+(section 9.1), the <2 dB insertion loss sits in the EIRP budget, and the
+65 dB isolation bounds how much carrier leaks into the *unselected* beam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import (
+    SWITCH_INSERTION_LOSS_DB,
+    SWITCH_ISOLATION_DB,
+    SWITCH_MAX_RATE_HZ,
+)
+from .components import ComponentSpec, RFComponent
+
+__all__ = ["ADRF5020Switch"]
+
+
+class ADRF5020Switch(RFComponent):
+    """Behavioural SPDT: two output ports, one selected per data bit."""
+
+    def __init__(self,
+                 insertion_loss_db: float = SWITCH_INSERTION_LOSS_DB,
+                 isolation_db: float = SWITCH_ISOLATION_DB,
+                 max_rate_hz: float = SWITCH_MAX_RATE_HZ):
+        if insertion_loss_db < 0:
+            raise ValueError("insertion loss cannot be negative")
+        if isolation_db <= insertion_loss_db:
+            raise ValueError("isolation must exceed insertion loss")
+        if max_rate_hz <= 0:
+            raise ValueError("max switching rate must be positive")
+        super().__init__(ComponentSpec(
+            name="ADRF5020 SPDT", gain_db=-insertion_loss_db,
+            noise_figure_db=insertion_loss_db, power_w=0.002, cost_usd=20.0))
+        self.insertion_loss_db = insertion_loss_db
+        self.isolation_db = isolation_db
+        self.max_rate_hz = max_rate_hz
+
+    @property
+    def max_bitrate_bps(self) -> float:
+        """One beam toggle per bit: bitrate cap equals the toggle rate."""
+        return self.max_rate_hz
+
+    def validate_bitrate(self, bitrate_bps: float) -> None:
+        """Raise if a requested bitrate exceeds the switching limit."""
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if bitrate_bps > self.max_rate_hz:
+            raise ValueError(
+                f"bitrate {bitrate_bps/1e6:.0f} Mbps exceeds the switch's "
+                f"{self.max_rate_hz/1e6:.0f} MHz toggle limit")
+
+    def port_amplitudes(self, selected_port: int) -> tuple[float, float]:
+        """Linear field amplitude delivered to (port0, port1).
+
+        The selected port sees the input attenuated by the insertion
+        loss; the other port sees it attenuated by the isolation — the
+        small leakage that radiates out of the *wrong* beam.
+        """
+        if selected_port not in (0, 1):
+            raise ValueError("selected_port must be 0 or 1")
+        through = 10.0 ** (-self.insertion_loss_db / 20.0)
+        leak = 10.0 ** (-self.isolation_db / 20.0)
+        if selected_port == 0:
+            return through, leak
+        return leak, through
+
+    def port_amplitude_matrix(self, bits) -> np.ndarray:
+        """Per-bit (n, 2) matrix of amplitudes on (port0, port1).
+
+        Port 1 carries Beam 1 ('1' bits), port 0 carries Beam 0.
+        """
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        out = np.empty((bits.size, 2), dtype=float)
+        for value in (0, 1):
+            amps = self.port_amplitudes(value)
+            out[bits == value, 0] = amps[0]
+            out[bits == value, 1] = amps[1]
+        return out

@@ -1,0 +1,80 @@
+"""USRP-class baseband receiver model (the AP's digitiser, §8.2).
+
+The paper's AP hands a 4 GHz IF to an N210 + CBX, which tunes, filters,
+digitises and ships complex samples to the host.  This model applies the
+parts of that chain that change what the demodulator sees: final
+down-conversion with a (possibly offset) digital LO, an anti-alias
+low-pass, AGC, and ADC quantisation.  Feeding a clean simulated capture
+through :meth:`UsrpReceiver.capture` produces the "realistic capture"
+the robustness tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..phy.envelope import automatic_gain_control
+from ..phy.filters import apply_fir, fir_lowpass
+from ..phy.impairments import apply_cfo, apply_phase_noise, quantize
+from ..phy.waveform import Waveform
+
+__all__ = ["UsrpReceiver"]
+
+
+@dataclass
+class UsrpReceiver:
+    """Behavioural digitiser: LO offset -> filter -> AGC -> ADC.
+
+    Parameters
+    ----------
+    adc_bits:
+        The N210 digitises at 14 bits; cheap captures often end up with
+        ~8 effective bits after headroom.
+    lo_offset_hz:
+        Residual frequency error between the node's free-running VCO
+        and the AP's LO chain (CFO as seen at baseband).
+    lo_linewidth_hz:
+        Combined oscillator phase-noise linewidth.
+    antialias_fraction:
+        Anti-alias cutoff as a fraction of Nyquist.
+    """
+
+    adc_bits: int = 12
+    lo_offset_hz: float = 0.0
+    lo_linewidth_hz: float = 0.0
+    antialias_fraction: float = 0.9
+    agc_target: float = 0.5
+
+    def __post_init__(self):
+        if self.adc_bits < 1:
+            raise ValueError("ADC needs at least one bit")
+        if not 0.0 < self.antialias_fraction <= 1.0:
+            raise ValueError("anti-alias fraction must be in (0, 1]")
+        if self.agc_target <= 0:
+            raise ValueError("AGC target must be positive")
+
+    def capture(self, wave: Waveform,
+                rng: np.random.Generator | None = None) -> Waveform:
+        """What the host receives for an ideal over-the-air waveform."""
+        out = wave
+        if self.lo_offset_hz:
+            out = apply_cfo(out, self.lo_offset_hz)
+        if self.lo_linewidth_hz:
+            out = apply_phase_noise(out, self.lo_linewidth_hz, rng)
+        if self.antialias_fraction < 1.0 and len(out) > 129:
+            cutoff = self.antialias_fraction * out.sample_rate_hz / 2.0
+            taps = fir_lowpass(cutoff, out.sample_rate_hz, num_taps=65)
+            out = Waveform(apply_fir(out.samples, taps), out.sample_rate_hz)
+        # AGC scales into the ADC's full-scale window; the demodulator is
+        # scale-invariant so only the relative quantisation grid matters.
+        magnitudes = np.abs(out.samples)
+        scaled = automatic_gain_control(magnitudes, self.agc_target)
+        if magnitudes.max() > 0:
+            gain = (scaled.max() / magnitudes.max()
+                    if magnitudes.max() > 0 else 1.0)
+        else:
+            gain = 1.0
+        out = Waveform(out.samples * gain, out.sample_rate_hz)
+        return quantize(out, self.adc_bits, full_scale=1.0)

@@ -1,0 +1,26 @@
+"""Multi-node support: FDM, TMA-based SDM, MIMO baseline, interference.
+
+Section 7: mmX shares the AP among many nodes with frequency-division
+(channels sized to demand, assigned once at initialization) and, when
+demand exceeds the band, spatial reuse via a Time-Modulated Array that
+hashes arrival directions onto distinct harmonic frequencies (Eq. 1-4).
+A hybrid-MIMO AP model is included as the power-hungry alternative the
+paper argues against.
+"""
+
+from .fdm import ChannelPlan, FdmAllocator, SpectrumExhausted
+from .tma import TimeModulatedArray, sequential_switching_schedule
+from .mimo import HybridMimoAp
+from .interference import InterferenceModel, sinr_db
+from .init_protocol import SideChannel, InitializationProtocol
+from .sdm_scheduler import (
+    AngularSdmScheduler,
+    RoundRobinScheduler,
+    arrival_bearing_rad,
+    assignment_min_separation_rad,
+)
+from .deployment import Deployment, NodeAssignment, plan_access_points
+from .mac import PacketQueue, TdmaSchedule, UplinkSimulator, UplinkStats
+from .network import MultiNodeNetwork, NetworkSnapshot, NodeStats
+
+__all__ = [name for name in dir() if not name.startswith("_")]

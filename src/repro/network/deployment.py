@@ -1,0 +1,159 @@
+"""Multi-AP deployment planning for larger spaces.
+
+Section 1 pitches mmX for "surveillance cameras in public areas such as
+malls, banks, libraries, and parks" — spaces far bigger than one AP's
+18 m reach and 120°-per-node geometry.  This module plans such
+deployments:
+
+* :class:`Deployment` — a set of candidate AP positions in a (large)
+  room; assigns every node to the AP giving it the best OTAM SNR and
+  reports per-node and aggregate coverage.
+* :func:`plan_access_points` — greedy AP placement: from a candidate
+  grid, repeatedly add the AP that rescues the most uncovered nodes —
+  the classic set-cover heuristic a site surveyor would run.
+
+Different APs operate on different 24 GHz channels (the band comfortably
+carries several AP cells), so inter-cell interference is treated as
+negligible next to the noise floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.link import OtamLink
+from ..sim.environment import Room
+from ..sim.geometry import Point, angle_of, normalize_angle
+from ..sim.placement import Placement
+
+__all__ = ["NodeAssignment", "Deployment", "plan_access_points"]
+
+
+@dataclass(frozen=True)
+class NodeAssignment:
+    """One node's best serving AP and the link quality it gets."""
+
+    node_position: Point
+    ap_index: int
+    snr_db: float
+
+    def covered(self, threshold_db: float = 10.0) -> bool:
+        """Whether the node meets the SNR target."""
+        return self.snr_db >= threshold_db
+
+
+def _link_snr(node: Point, ap: Point, room: Room,
+              orientation_offset_rad: float = 0.0,
+              link_kwargs: dict | None = None) -> float:
+    """OTAM SNR for a node facing (approximately) toward an AP."""
+    toward = angle_of(node, ap)
+    placement = Placement(
+        node_position=node,
+        node_orientation_rad=normalize_angle(toward + orientation_offset_rad),
+        ap_position=ap,
+        ap_orientation_rad=angle_of(ap, node),
+    )
+    link = OtamLink(placement=placement, room=room, **(link_kwargs or {}))
+    return link.snr_breakdown().otam_snr_db
+
+
+@dataclass
+class Deployment:
+    """A set of APs serving a population of node positions."""
+
+    room: Room
+    ap_positions: list[Point]
+    link_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.ap_positions:
+            raise ValueError("a deployment needs at least one AP")
+
+    def assign(self, node_positions: list[Point],
+               orientation_offsets_rad: list[float] | None = None
+               ) -> list[NodeAssignment]:
+        """Best-AP assignment for each node.
+
+        ``orientation_offsets_rad`` optionally perturbs each node's
+        facing (installation error); defaults to perfectly aimed nodes.
+        """
+        if orientation_offsets_rad is None:
+            orientation_offsets_rad = [0.0] * len(node_positions)
+        if len(orientation_offsets_rad) != len(node_positions):
+            raise ValueError("one orientation offset per node required")
+        assignments = []
+        for node, offset in zip(node_positions, orientation_offsets_rad):
+            best_idx, best_snr = -1, float("-inf")
+            for idx, ap in enumerate(self.ap_positions):
+                snr = _link_snr(node, ap, self.room, offset,
+                                self.link_kwargs)
+                if snr > best_snr:
+                    best_idx, best_snr = idx, snr
+            assignments.append(NodeAssignment(
+                node_position=node, ap_index=best_idx, snr_db=best_snr))
+        return assignments
+
+    def coverage(self, node_positions: list[Point],
+                 threshold_db: float = 10.0) -> float:
+        """Fraction of nodes meeting the SNR target."""
+        if not node_positions:
+            raise ValueError("no nodes to cover")
+        assignments = self.assign(node_positions)
+        return float(np.mean([a.covered(threshold_db) for a in assignments]))
+
+    def load_per_ap(self, node_positions: list[Point]) -> list[int]:
+        """How many nodes each AP ends up serving."""
+        counts = [0] * len(self.ap_positions)
+        for assignment in self.assign(node_positions):
+            counts[assignment.ap_index] += 1
+        return counts
+
+
+def plan_access_points(room: Room, node_positions: list[Point],
+                       candidate_positions: list[Point],
+                       threshold_db: float = 10.0,
+                       max_aps: int | None = None,
+                       link_kwargs: dict | None = None) -> list[Point]:
+    """Greedy set-cover AP placement.
+
+    Repeatedly adds the candidate AP that covers the most currently
+    uncovered nodes, until everyone is covered, candidates run out, or
+    ``max_aps`` is hit.  Returns the chosen AP positions (possibly
+    covering less than 100 % — check with :meth:`Deployment.coverage`).
+    """
+    if not candidate_positions:
+        raise ValueError("no candidate AP positions")
+    if max_aps is None:
+        max_aps = len(candidate_positions)
+    if max_aps < 1:
+        raise ValueError("need at least one AP allowed")
+    link_kwargs = link_kwargs or {}
+
+    # Precompute per-candidate coverage sets.
+    covers: list[set[int]] = []
+    for ap in candidate_positions:
+        covered = {i for i, node in enumerate(node_positions)
+                   if _link_snr(node, ap, room,
+                                link_kwargs=link_kwargs) >= threshold_db}
+        covers.append(covered)
+
+    chosen: list[Point] = []
+    uncovered = set(range(len(node_positions)))
+    remaining = list(range(len(candidate_positions)))
+    while uncovered and remaining and len(chosen) < max_aps:
+        best = max(remaining, key=lambda c: len(covers[c] & uncovered))
+        gain = covers[best] & uncovered
+        if not gain:
+            break
+        chosen.append(candidate_positions[best])
+        uncovered -= gain
+        remaining.remove(best)
+    if not chosen:
+        # Even a hopeless site gets its best single AP.
+        best = max(range(len(candidate_positions)),
+                   key=lambda c: len(covers[c]))
+        chosen.append(candidate_positions[best])
+    return chosen

@@ -1,0 +1,133 @@
+"""Frequency-division multiplexing: the AP's channel allocator (§7a).
+
+"mmX divides the available spectrum between nodes depending on their data
+rate demand" — a camera needing 10 Mbps gets a few MHz; the 250 MHz ISM
+band carries many such channels.  Allocation happens once, at
+initialization, over the WiFi/Bluetooth side link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import ISM_24GHZ_HIGH_HZ, ISM_24GHZ_LOW_HZ
+
+__all__ = ["ChannelPlan", "FdmAllocator", "SpectrumExhausted"]
+
+
+class SpectrumExhausted(Exception):
+    """No contiguous spectrum left for a requested channel.
+
+    The caller should fall back to SDM (spatial reuse of an existing
+    channel via the TMA) — exactly the escalation section 7(b) describes.
+    """
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """One allocated channel."""
+
+    node_id: int
+    center_hz: float
+    bandwidth_hz: float
+
+    @property
+    def low_hz(self) -> float:
+        """Lower channel edge."""
+        return self.center_hz - self.bandwidth_hz / 2.0
+
+    @property
+    def high_hz(self) -> float:
+        """Upper channel edge."""
+        return self.center_hz + self.bandwidth_hz / 2.0
+
+    def overlaps(self, other: "ChannelPlan") -> bool:
+        """Whether two channels share spectrum."""
+        return self.low_hz < other.high_hz and other.low_hz < self.high_hz
+
+
+class FdmAllocator:
+    """First-fit contiguous allocator over the 24 GHz ISM band.
+
+    Channel bandwidth is provisioned from the demanded bit rate times a
+    spectral overhead factor: OTAM's ASK-FSK occupies roughly twice the
+    bit rate (two tones plus main lobes), plus a guard fraction.
+    """
+
+    def __init__(self,
+                 band_low_hz: float = ISM_24GHZ_LOW_HZ,
+                 band_high_hz: float = ISM_24GHZ_HIGH_HZ,
+                 bandwidth_per_bps: float = 2.0,
+                 guard_fraction: float = 0.25,
+                 min_channel_hz: float = 1e6):
+        if band_high_hz <= band_low_hz:
+            raise ValueError("invalid band edges")
+        if bandwidth_per_bps <= 0 or min_channel_hz <= 0:
+            raise ValueError("invalid sizing parameters")
+        if guard_fraction < 0:
+            raise ValueError("guard fraction cannot be negative")
+        self.band_low_hz = band_low_hz
+        self.band_high_hz = band_high_hz
+        self.bandwidth_per_bps = bandwidth_per_bps
+        self.guard_fraction = guard_fraction
+        self.min_channel_hz = min_channel_hz
+        self._plans: dict[int, ChannelPlan] = {}
+
+    @property
+    def total_bandwidth_hz(self) -> float:
+        """Width of the managed band (250 MHz for the 24 GHz ISM band)."""
+        return self.band_high_hz - self.band_low_hz
+
+    @property
+    def allocated_bandwidth_hz(self) -> float:
+        """Spectrum currently committed (guards included)."""
+        return sum(p.bandwidth_hz * (1.0 + self.guard_fraction)
+                   for p in self._plans.values())
+
+    def channel_bandwidth_for_rate(self, rate_bps: float) -> float:
+        """Provisioned channel width for a demanded bit rate."""
+        if rate_bps <= 0:
+            raise ValueError("demanded rate must be positive")
+        return max(self.min_channel_hz, rate_bps * self.bandwidth_per_bps)
+
+    def allocate(self, node_id: int, demanded_rate_bps: float) -> ChannelPlan:
+        """Assign the lowest free channel that fits the demand.
+
+        Raises :class:`SpectrumExhausted` when the band cannot fit the
+        request — the signal to switch that node to SDM.
+        """
+        if node_id in self._plans:
+            raise ValueError(f"node {node_id} already holds a channel")
+        width = self.channel_bandwidth_for_rate(demanded_rate_bps)
+        pitch = width * (1.0 + self.guard_fraction)
+        occupied = sorted((p.low_hz, p.high_hz) for p in self._plans.values())
+        cursor = self.band_low_hz
+        for low, high in occupied:
+            if cursor + pitch <= low:
+                break
+            cursor = max(cursor, high + width * self.guard_fraction)
+        if cursor + width > self.band_high_hz:
+            raise SpectrumExhausted(
+                f"no room for a {width/1e6:.1f} MHz channel")
+        plan = ChannelPlan(node_id=node_id, center_hz=cursor + width / 2.0,
+                           bandwidth_hz=width)
+        self._plans[node_id] = plan
+        return plan
+
+    def release(self, node_id: int) -> None:
+        """Return a node's channel to the pool."""
+        if node_id not in self._plans:
+            raise KeyError(f"node {node_id} holds no channel")
+        del self._plans[node_id]
+
+    def plan_for(self, node_id: int) -> ChannelPlan:
+        """Look up a node's channel."""
+        try:
+            return self._plans[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id} holds no channel") from None
+
+    @property
+    def plans(self) -> list[ChannelPlan]:
+        """All current allocations, sorted by center frequency."""
+        return sorted(self._plans.values(), key=lambda p: p.center_hz)

@@ -1,0 +1,101 @@
+"""The once-only initialization protocol over a WiFi/Bluetooth side link.
+
+Section 7(a): "The channels are specified by the AP to each node in the
+initialization stage.  The initialization takes place only once using a
+WiFi or Bluetooth module."  The mmWave link itself is uplink-only and
+feedback-free — that is the whole point of OTAM — so this low-rate side
+channel is the only downlink the system ever uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SideChannel", "InitializationProtocol"]
+
+
+@dataclass
+class SideChannel:
+    """A lossy low-rate control link (WiFi/BLE class).
+
+    ``delivery_ratio`` models control-frame loss; the protocol retries.
+    A Bluetooth LE connection event is ~a few ms, so ``latency_s``
+    defaults accordingly.
+    """
+
+    delivery_ratio: float = 0.95
+    latency_s: float = 0.005
+    rng: object = None
+
+    def __post_init__(self):
+        if not 0.0 < self.delivery_ratio <= 1.0:
+            raise ValueError("delivery ratio must be in (0, 1]")
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+
+    def deliver(self) -> bool:
+        """Whether one control frame gets through."""
+        if self.rng is None or self.delivery_ratio >= 1.0:
+            return True
+        return bool(self.rng.random() < self.delivery_ratio)
+
+
+@dataclass(frozen=True)
+class InitRecord:
+    """Outcome of initialising one node."""
+
+    node_id: int
+    center_hz: float
+    bandwidth_hz: float
+    attempts: int
+    elapsed_s: float
+
+
+class InitializationProtocol:
+    """Runs the AP-side initialization handshake for a set of nodes."""
+
+    def __init__(self, access_point, side_channel: SideChannel | None = None,
+                 max_attempts: int = 5):
+        if max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        self.access_point = access_point
+        self.side_channel = side_channel or SideChannel()
+        self.max_attempts = max_attempts
+        self.records: list[InitRecord] = []
+
+    def initialize(self, node, demanded_rate_bps: float,
+                   config=None) -> InitRecord:
+        """Register a node at the AP and push its channel assignment.
+
+        ``config`` optionally pins the modulation numerology both ends
+        use (defaults to the AP's rate-derived choice).  Retries lost
+        control frames up to ``max_attempts`` times, then raises
+        ``ConnectionError`` — an un-initialisable node never touches the
+        mmWave band.
+        """
+        registration = self.access_point.register_node(
+            node.node_id, demanded_rate_bps, config=config)
+        attempts = 0
+        delivered = False
+        while attempts < self.max_attempts and not delivered:
+            attempts += 1
+            delivered = self.side_channel.deliver()
+        if not delivered:
+            self.access_point.deregister_node(node.node_id)
+            raise ConnectionError(
+                f"node {node.node_id}: side channel failed "
+                f"{self.max_attempts} times")
+        node.assign_channel(registration.channel.center_hz)
+        record = InitRecord(
+            node_id=node.node_id,
+            center_hz=registration.channel.center_hz,
+            bandwidth_hz=registration.channel.bandwidth_hz,
+            attempts=attempts,
+            elapsed_s=attempts * self.side_channel.latency_s,
+        )
+        self.records.append(record)
+        return record
+
+    def initialize_all(self, nodes_and_rates) -> list[InitRecord]:
+        """Initialise ``[(node, rate_bps), ...]`` in order."""
+        return [self.initialize(node, rate) for node, rate in nodes_and_rates]

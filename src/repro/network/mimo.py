@@ -1,0 +1,68 @@
+"""Hybrid MIMO AP — the expensive SDM alternative (§7b).
+
+"The AP uses multiple mmWave chains connected to one or multiple arrays
+which create independent beams toward different directions... since this
+architecture requires multiple mmWave chains, it is power hungry and
+costly for IoT applications."  This model exists to quantify that
+trade-off against the TMA in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..antenna.phased_array import PhasedArray
+
+__all__ = ["HybridMimoAp"]
+
+# One full mmWave receive chain: LNA + filter + mixer + LO share, from the
+# paper's component survey (section 1: mixer ~1 W, amplifier ~2.5 W at
+# 24 GHz for TX-grade parts; an RX chain is lighter).
+_POWER_PER_CHAIN_W = 1.2
+_COST_PER_CHAIN_USD = 220.0 + 70.0 + 45.0  # amplifier + mixer + PLL share
+
+
+@dataclass
+class HybridMimoAp:
+    """An AP with ``num_chains`` independent steerable beams."""
+
+    num_chains: int
+    elements_per_chain: int = 8
+    frequency_hz: float = 24.125e9
+
+    def __post_init__(self):
+        if self.num_chains < 1:
+            raise ValueError("need at least one chain")
+        self.arrays = [PhasedArray(self.elements_per_chain, self.frequency_hz)
+                       for _ in range(self.num_chains)]
+
+    @property
+    def power_consumption_w(self) -> float:
+        """Chains plus their phased arrays."""
+        return (self.num_chains * _POWER_PER_CHAIN_W
+                + sum(a.power_consumption_w for a in self.arrays))
+
+    @property
+    def cost_usd(self) -> float:
+        """Chains plus their phased arrays."""
+        return (self.num_chains * _COST_PER_CHAIN_USD
+                + sum(a.cost_usd for a in self.arrays))
+
+    @property
+    def max_cochannel_nodes(self) -> int:
+        """Simultaneous same-frequency nodes it can separate."""
+        return self.num_chains
+
+    def separation_gain_db(self, wanted_theta_rad: float,
+                           interferer_theta_rad: float) -> float:
+        """Spatial rejection of an interferer by one steered beam.
+
+        Steer a chain's array at the wanted node; the interferer is
+        attenuated by the pattern value at its direction.
+        """
+        pattern = self.arrays[0].steered_pattern(wanted_theta_rad)
+        wanted = float(np.asarray(pattern.power_db(wanted_theta_rad)))
+        unwanted = float(np.asarray(pattern.power_db(interferer_theta_rad)))
+        return wanted - unwanted

@@ -1,0 +1,15 @@
+"""Device layer: the mmX IoT node and access point as stateful objects.
+
+:class:`~repro.node.node.MmxNode` glues the digital controller, VCO,
+switch and beam pair into the transmitter of Fig. 3(a);
+:class:`~repro.node.access_point.MmxAccessPoint` is the receiver of
+Fig. 3(b) plus the network-side bookkeeping (channel allocation,
+per-node demodulators).
+"""
+
+from .controller import DigitalController, TransmitJob
+from .node import MmxNode
+from .access_point import MmxAccessPoint, NodeRegistration
+from .channelizer import ChannelSlice, Channelizer
+
+__all__ = [name for name in dir() if not name.startswith("_")]

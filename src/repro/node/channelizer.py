@@ -1,0 +1,122 @@
+"""Wideband channelisation: one AP capture, many node basebands.
+
+The mmX AP digitises a wide slice of the 24 GHz ISM band and the FDM
+nodes sit at different offsets inside it (§7a).  The baseband processor
+must therefore *channelise*: mix each node's channel to DC, low-pass to
+its channel width, and decimate to the node's modulation rate before
+the joint demodulator runs.  This module is that stage — the software
+equivalent of the per-channel DDCs in an SDR receive chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..phy.filters import apply_fir, fir_lowpass
+from ..phy.waveform import Waveform
+
+__all__ = ["ChannelSlice", "Channelizer"]
+
+
+@dataclass(frozen=True)
+class ChannelSlice:
+    """One node's slot inside the wideband capture."""
+
+    node_id: int
+    offset_hz: float
+    """Channel centre relative to the capture's centre frequency."""
+    bandwidth_hz: float
+    """Pass bandwidth to retain around the channel centre."""
+    output_rate_hz: float
+    """Sample rate the node's demodulator expects."""
+
+    def __post_init__(self):
+        if self.bandwidth_hz <= 0 or self.output_rate_hz <= 0:
+            raise ValueError("bandwidth and output rate must be positive")
+        if self.bandwidth_hz > self.output_rate_hz:
+            raise ValueError("channel bandwidth exceeds the output rate")
+
+
+class Channelizer:
+    """Extracts per-node baseband streams from a wideband capture."""
+
+    def __init__(self, slices: list[ChannelSlice], num_taps: int = 129):
+        if not slices:
+            raise ValueError("need at least one channel slice")
+        if num_taps < 9:
+            raise ValueError("too few filter taps")
+        ids = [s.node_id for s in slices]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids in the channel plan")
+        self.slices = {s.node_id: s for s in slices}
+        self.num_taps = num_taps
+
+    def _slice_for(self, node_id: int) -> ChannelSlice:
+        try:
+            return self.slices[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id} not in the channel plan") from None
+
+    def extract(self, capture: Waveform, node_id: int) -> Waveform:
+        """One node's complex baseband at its own sample rate.
+
+        The wideband rate must be an integer multiple of the slice's
+        output rate (the capture front-end is configured to make it so).
+        """
+        channel = self._slice_for(node_id)
+        ratio = capture.sample_rate_hz / channel.output_rate_hz
+        if abs(ratio - round(ratio)) > 1e-9 or ratio < 1:
+            raise ValueError(
+                f"capture rate {capture.sample_rate_hz:g} is not an "
+                f"integer multiple of the output rate "
+                f"{channel.output_rate_hz:g}")
+        factor = int(round(ratio))
+        # Mix the channel to DC.
+        t = capture.time_axis()
+        mixed = capture.samples * np.exp(-2j * np.pi * channel.offset_hz * t)
+        # Anti-alias for the decimation AND confine to the channel.
+        cutoff = min(channel.bandwidth_hz / 2.0,
+                     0.45 * channel.output_rate_hz)
+        if factor > 1 or cutoff < 0.45 * capture.sample_rate_hz:
+            taps = fir_lowpass(cutoff, capture.sample_rate_hz,
+                               num_taps=self.num_taps)
+            mixed = apply_fir(mixed, taps)
+        decimated = mixed[::factor]
+        return Waveform(decimated, channel.output_rate_hz)
+
+    def extract_all(self, capture: Waveform) -> dict[int, Waveform]:
+        """Every node's baseband from one capture."""
+        return {node_id: self.extract(capture, node_id)
+                for node_id in self.slices}
+
+    @staticmethod
+    def compose(capture_rate_hz: float,
+                signals: list[tuple[Waveform, float]]) -> Waveform:
+        """Build a wideband capture from per-node baseband signals.
+
+        The test-side inverse of :meth:`extract`: each ``(waveform,
+        offset_hz)`` is upsampled (sample-and-hold at the integer rate
+        ratio) and mixed up to its channel offset, then all are summed.
+        Intended for constructing synthetic multi-node captures.
+        """
+        if not signals:
+            raise ValueError("nothing to compose")
+        lengths = []
+        for wave, _ in signals:
+            ratio = capture_rate_hz / wave.sample_rate_hz
+            if abs(ratio - round(ratio)) > 1e-9 or ratio < 1:
+                raise ValueError("capture rate must be an integer multiple "
+                                 "of every signal's rate")
+            lengths.append(len(wave) * int(round(ratio)))
+        n = max(lengths)
+        total = np.zeros(n, dtype=complex)
+        t = np.arange(n) / capture_rate_hz
+        for wave, offset in signals:
+            factor = int(round(capture_rate_hz / wave.sample_rate_hz))
+            upsampled = np.repeat(wave.samples, factor)
+            padded = np.zeros(n, dtype=complex)
+            padded[: upsampled.size] = upsampled
+            total += padded * np.exp(2j * np.pi * offset * t)
+        return Waveform(total, capture_rate_hz)

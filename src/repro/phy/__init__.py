@@ -1,0 +1,81 @@
+"""Physical-layer substrate: DSP, modulation math, coding and link budgets.
+
+This subpackage contains everything below the mmX-specific logic: generic
+signal processing (waveforms, filters, envelope detection, tone detection),
+closed-form error-rate theory, channel coding, and noise/link-budget math.
+The mmX core in :mod:`repro.core` composes these pieces.
+"""
+
+from .bits import (
+    bits_to_bytes,
+    bytes_to_bits,
+    bit_errors,
+    bit_error_rate,
+    random_bits,
+    pack_uint,
+    unpack_uint,
+)
+from .ber import (
+    qfunc,
+    qfunc_inv,
+    ber_ook_coherent,
+    ber_ook_noncoherent,
+    ber_ask_coherent,
+    ber_fsk_noncoherent,
+    ber_bpsk,
+    snr_db_for_target_ber,
+)
+from .snr import (
+    thermal_noise_dbm,
+    noise_figure_cascade_db,
+    LinkBudget,
+    estimate_snr_two_level,
+    estimate_snr_from_evm,
+)
+from .waveform import (
+    Waveform,
+    carrier,
+    ook_waveform,
+    two_level_waveform,
+    add_awgn,
+    awgn_noise,
+)
+from .filters import (
+    moving_average,
+    fir_lowpass,
+    apply_fir,
+    decimate,
+    exponential_smooth,
+)
+from .envelope import envelope_detect, automatic_gain_control, threshold_levels
+from .goertzel import goertzel_power, goertzel_block_powers
+from .coding import (
+    crc16_ccitt,
+    RepetitionCode,
+    HammingCode74,
+    interleave,
+    deinterleave,
+)
+from .impairments import (
+    apply_cfo,
+    apply_phase_noise,
+    apply_iq_imbalance,
+    quantize,
+    cfo_tolerance_hz,
+)
+from .spectrum import (
+    adjacent_channel_leakage_db,
+    check_emission_mask,
+    occupied_bandwidth_hz,
+    power_in_band_fraction,
+    power_spectral_density,
+)
+from .timing import estimate_timing_offset, align_to_bits, timing_metric
+from .preamble import (
+    BARKER13,
+    default_preamble_bits,
+    correlate_preamble,
+    locate_preamble,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,74 @@
+"""Envelope detection — the ASK half of the AP's joint demodulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .filters import moving_average
+
+__all__ = [
+    "envelope_detect",
+    "automatic_gain_control",
+    "threshold_levels",
+]
+
+
+def envelope_detect(samples: np.ndarray, smooth_window: int = 1) -> np.ndarray:
+    """Magnitude envelope of a complex baseband signal, optionally smoothed.
+
+    The mmX AP sees a sine wave whose amplitude was modulated by the
+    channel (OTAM); taking ``|x[n]|`` recovers exactly that amplitude
+    track.  ``smooth_window`` applies a moving average, typically sized to
+    a fraction of a bit period.
+    """
+    env = np.abs(np.asarray(samples))
+    if smooth_window > 1:
+        env = moving_average(env, smooth_window)
+    return env
+
+
+def automatic_gain_control(envelope: np.ndarray,
+                           target_level: float = 1.0) -> np.ndarray:
+    """Normalise an envelope so its RMS hits ``target_level``.
+
+    Removes the absolute received power so the decision logic only deals
+    with the *ratio* between the two OTAM levels, which is what carries
+    the data.
+    """
+    envelope = np.asarray(envelope, dtype=float)
+    rms = float(np.sqrt(np.mean(envelope**2))) if envelope.size else 0.0
+    if rms <= 0.0:
+        return envelope.copy()
+    return envelope * (target_level / rms)
+
+
+def threshold_levels(envelope: np.ndarray) -> tuple[float, float, float]:
+    """Estimate the two ASK levels and decision threshold from an envelope.
+
+    Runs a tiny 2-means (Lloyd) clustering on the envelope samples,
+    initialised at the min/max, and returns ``(low, high, threshold)``
+    with the threshold midway between the converged level means.  Works
+    with no training when the two levels are separated; degenerates to
+    equal levels (threshold at their value) otherwise — which is precisely
+    the case where the FSK dimension must take over (section 6.3).
+    """
+    env = np.asarray(envelope, dtype=float)
+    if env.size == 0:
+        raise ValueError("empty envelope")
+    low = float(env.min())
+    high = float(env.max())
+    if high - low <= 1e-15:
+        return low, high, low
+    for _ in range(25):
+        threshold = 0.5 * (low + high)
+        low_set = env[env <= threshold]
+        high_set = env[env > threshold]
+        if low_set.size == 0 or high_set.size == 0:
+            break
+        new_low = float(low_set.mean())
+        new_high = float(high_set.mean())
+        if abs(new_low - low) < 1e-12 and abs(new_high - high) < 1e-12:
+            low, high = new_low, new_high
+            break
+        low, high = new_low, new_high
+    return low, high, 0.5 * (low + high)

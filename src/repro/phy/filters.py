@@ -1,0 +1,78 @@
+"""Small FIR filtering toolbox used by the AP's baseband processor."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+__all__ = [
+    "moving_average",
+    "fir_lowpass",
+    "apply_fir",
+    "decimate",
+    "exponential_smooth",
+]
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with edge replication, length preserved.
+
+    Used as the post-envelope smoother: a bit period's worth of averaging
+    integrates out noise without smearing neighbouring symbols.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    x = np.asarray(x, dtype=float)
+    if window == 1 or x.size == 0:
+        return x.copy()
+    window = min(window, x.size)
+    kernel = np.ones(window) / window
+    padded = np.concatenate([
+        np.full(window // 2, x[0]),
+        x,
+        np.full(window - 1 - window // 2, x[-1]),
+    ])
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def fir_lowpass(cutoff_hz: float, sample_rate_hz: float,
+                num_taps: int = 63) -> np.ndarray:
+    """Hamming-windowed linear-phase FIR low-pass prototype."""
+    if not 0 < cutoff_hz < sample_rate_hz / 2:
+        raise ValueError("cutoff must be inside (0, Nyquist)")
+    if num_taps < 3:
+        raise ValueError("need at least 3 taps")
+    return sp_signal.firwin(num_taps, cutoff_hz, fs=sample_rate_hz)
+
+
+def apply_fir(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Zero-phase-ish FIR application: filter then compensate group delay."""
+    x = np.asarray(x)
+    taps = np.asarray(taps, dtype=float)
+    if x.size == 0:
+        return x.copy()
+    delay = (taps.size - 1) // 2
+    padded = np.concatenate([x, np.full(delay, x[-1], dtype=x.dtype)])
+    y = sp_signal.lfilter(taps, [1.0], padded)
+    return y[delay:]
+
+
+def decimate(x: np.ndarray, factor: int) -> np.ndarray:
+    """Anti-aliased decimation by an integer factor."""
+    if factor < 1:
+        raise ValueError("decimation factor must be >= 1")
+    x = np.asarray(x)
+    if factor == 1:
+        return x.copy()
+    return sp_signal.decimate(x, factor, ftype="fir", zero_phase=True)
+
+
+def exponential_smooth(x: np.ndarray, alpha: float) -> np.ndarray:
+    """First-order IIR smoother ``y[n] = a*x[n] + (1-a)*y[n-1]``."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        return x.copy()
+    return sp_signal.lfilter([alpha], [1.0, -(1.0 - alpha)], x,
+                             zi=[(1.0 - alpha) * x[0]])[0]

@@ -1,0 +1,26 @@
+"""Simulation substrate: room geometry, placements, mobility, Monte Carlo.
+
+The paper's experiments run in a 6 m x 4 m lab with furniture and walking
+people (section 9).  This subpackage provides the synthetic equivalent:
+a 2-D room whose walls act as mmWave reflectors, circular human blockers
+(static or walking), placement samplers matching the paper's protocol
+(random locations, orientations in -60..60 degrees), and a seeded
+Monte-Carlo runner.
+"""
+
+from .geometry import (
+    Point,
+    Segment,
+    segment_intersection,
+    segment_circle_intersects,
+    reflect_point_across_line,
+    angle_of,
+    normalize_angle,
+)
+from .environment import Wall, Blocker, Room, default_lab_room
+from .mobility import RandomWaypoint, LinearCrossing, WalkingBlocker
+from .placement import PlacementSampler, Placement
+from .runner import MonteCarloRunner, TrialResult
+from .timeline import LinkTrace, TimelineSimulator
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,74 @@
+"""Seeded Monte-Carlo experiment runner.
+
+Every experiment in the paper is a set of repeated trials over random
+placements (30 locations in §9.3, 100 runs in §9.5...).  The runner owns
+the RNG discipline — one master seed, one child generator per trial — so
+every figure regenerates bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["TrialResult", "MonteCarloRunner"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One trial's outputs, tagged with its index and seed."""
+
+    index: int
+    seed: int
+    values: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+
+class MonteCarloRunner:
+    """Runs ``trial_fn(rng, index) -> dict`` over independent RNG streams."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = master_seed
+
+    def child_seeds(self, count: int) -> list[int]:
+        """Deterministic per-trial seeds derived from the master seed."""
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        ss = np.random.SeedSequence(self.master_seed)
+        return [int(s.generate_state(1)[0]) for s in ss.spawn(count)]
+
+    def run(self, trial_fn: Callable[[np.random.Generator, int], dict],
+            num_trials: int) -> list[TrialResult]:
+        """Execute ``num_trials`` independent trials."""
+        results = []
+        for index, seed in enumerate(self.child_seeds(num_trials)):
+            rng = np.random.default_rng(seed)
+            values = trial_fn(rng, index)
+            if not isinstance(values, dict):
+                raise TypeError("trial function must return a dict of values")
+            results.append(TrialResult(index=index, seed=seed, values=values))
+        return results
+
+    @staticmethod
+    def collect(results: list[TrialResult], key: str) -> np.ndarray:
+        """Gather one scalar metric across trials into an array."""
+        return np.asarray([r.values[key] for r in results], dtype=float)
+
+    @staticmethod
+    def summary(results: list[TrialResult], key: str) -> dict[str, float]:
+        """Mean / median / percentiles of a metric across trials."""
+        x = MonteCarloRunner.collect(results, key)
+        if x.size == 0:
+            raise ValueError("no results to summarise")
+        return {
+            "mean": float(np.mean(x)),
+            "median": float(np.median(x)),
+            "p10": float(np.percentile(x, 10)),
+            "p90": float(np.percentile(x, 90)),
+            "min": float(np.min(x)),
+            "max": float(np.max(x)),
+        }

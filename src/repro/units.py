@@ -1,0 +1,73 @@
+"""Unit conversions used across the mmX stack.
+
+All RF engineering here is done in two currencies: linear power ratios and
+decibels.  These helpers are deliberately tiny and vectorised so every other
+module can share one, well-tested implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "dbm_to_db_ratio",
+    "amplitude_to_db",
+    "db_to_amplitude",
+    "wavelength",
+]
+
+
+def db_to_linear(db):
+    """Convert a power ratio in dB to a linear ratio."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(ratio):
+    """Convert a linear power ratio to dB.
+
+    Ratios of exactly zero map to ``-inf`` without warnings, which lets
+    callers express "no signal at all" naturally.
+    """
+    ratio = np.asarray(ratio, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(ratio)
+
+
+def dbm_to_watts(dbm):
+    """Convert power in dBm to watts."""
+    return np.power(10.0, (np.asarray(dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts):
+    """Convert power in watts to dBm."""
+    watts = np.asarray(watts, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(watts) + 30.0
+
+
+def dbm_to_db_ratio(dbm_a, dbm_b):
+    """Power ratio ``a / b`` in dB for two absolute powers in dBm."""
+    return np.asarray(dbm_a, dtype=float) - np.asarray(dbm_b, dtype=float)
+
+
+def amplitude_to_db(amplitude):
+    """Convert a voltage/field amplitude ratio to dB (20 log10)."""
+    amplitude = np.asarray(amplitude, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 20.0 * np.log10(np.abs(amplitude))
+
+
+def db_to_amplitude(db):
+    """Convert dB to a voltage/field amplitude ratio (inverse 20 log10)."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 20.0)
+
+
+def wavelength(frequency_hz):
+    """Free-space wavelength [m] for a carrier frequency [Hz]."""
+    from .constants import SPEED_OF_LIGHT
+
+    return SPEED_OF_LIGHT / np.asarray(frequency_hz, dtype=float)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the mmX test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ask_fsk import AskFskConfig
+from repro.core.link import OtamLink
+from repro.sim.environment import default_lab_room
+from repro.sim.placement import PlacementSampler
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def room():
+    """The paper's furnished 6 m x 4 m lab."""
+    return default_lab_room()
+
+
+@pytest.fixture
+def bare_room():
+    """The lab without furniture (pure 4-wall geometry)."""
+    return default_lab_room(furniture=False)
+
+
+@pytest.fixture
+def sampler(room, rng) -> PlacementSampler:
+    """Placement sampler following the section 9.2 protocol."""
+    return PlacementSampler(room, rng)
+
+
+@pytest.fixture
+def placement(sampler):
+    """One random node placement."""
+    return sampler.sample()
+
+
+@pytest.fixture
+def config() -> AskFskConfig:
+    """A small, fast modulation config for waveform-level tests."""
+    return AskFskConfig(bit_rate_bps=1e6, sample_rate_hz=8e6)
+
+
+@pytest.fixture
+def link(placement, room, config) -> OtamLink:
+    """An end-to-end link at a random placement."""
+    return OtamLink(placement=placement, room=room, config=config)

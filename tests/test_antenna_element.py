@@ -1,0 +1,74 @@
+"""Tests for repro.antenna.element."""
+
+import numpy as np
+import pytest
+
+from repro.antenna.element import DipoleElement, IsotropicElement, PatchElement
+
+
+class TestPatchElement:
+    def test_boresight_peak(self):
+        patch = PatchElement()
+        assert float(patch.field(0.0)) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        patch = PatchElement()
+        theta = np.radians([10, 30, 60, 85])
+        assert patch.field(theta) == pytest.approx(patch.field(-theta))
+
+    def test_monotone_rolloff_forward(self):
+        patch = PatchElement()
+        theta = np.radians(np.linspace(0, 85, 30))
+        values = patch.field(theta)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_back_lobe_floor(self):
+        patch = PatchElement(back_lobe_db=-20.0)
+        behind = patch.field(np.radians(180.0))
+        assert float(behind) == pytest.approx(10 ** (-20 / 20))
+
+    def test_power_db_at_peak_zero(self):
+        assert float(PatchElement().power_db(0.0)) == pytest.approx(0.0)
+
+    def test_exponent_controls_width(self):
+        narrow = PatchElement(exponent=2.0)
+        wide = PatchElement(exponent=0.5)
+        theta = np.radians(50.0)
+        assert float(narrow.field(theta)) < float(wide.field(theta))
+
+
+class TestDipoleElement:
+    def test_defaults_match_paper(self):
+        dipole = DipoleElement()
+        assert dipole.gain_dbi == 5.0
+        assert dipole.beamwidth_deg == 62.0
+
+    def test_peak_at_boresight(self):
+        assert float(DipoleElement().power_db(0.0)) == pytest.approx(0.0)
+
+    def test_3db_at_half_beamwidth(self):
+        dipole = DipoleElement()
+        edge = np.radians(dipole.beamwidth_deg / 2.0)
+        assert float(dipole.power_db(edge)) == pytest.approx(-3.0)
+
+    def test_floor_far_out(self):
+        dipole = DipoleElement(floor_db=-15.0)
+        assert float(dipole.power_db(np.radians(150.0))) == pytest.approx(-15.0)
+
+    def test_absolute_gain(self):
+        dipole = DipoleElement()
+        assert float(dipole.gain_dbi_at(0.0)) == pytest.approx(5.0)
+
+    def test_field_consistent_with_power(self):
+        dipole = DipoleElement()
+        theta = np.radians(20.0)
+        assert float(dipole.field(theta)) == pytest.approx(
+            10 ** (float(dipole.power_db(theta)) / 20.0))
+
+
+class TestIsotropic:
+    def test_unit_everywhere(self):
+        iso = IsotropicElement()
+        theta = np.radians(np.linspace(-180, 180, 19))
+        assert iso.field(theta) == pytest.approx(np.ones(19))
+        assert iso.power_db(theta) == pytest.approx(np.zeros(19))

@@ -1,0 +1,147 @@
+"""Tests for per-beam channel gains and the ChannelResponse."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.antenna.element import DipoleElement
+from repro.antenna.orthogonal import measured_mmx_beams
+from repro.channel.multipath import (
+    ChannelResponse,
+    beam_channel_gain,
+    two_beam_gains,
+)
+from repro.channel.pathloss import free_space_path_loss_db
+from repro.channel.raytrace import PropagationPath
+from repro.sim.environment import Blocker, default_lab_room
+from repro.sim.geometry import Point
+
+FREQ = 24.125e9
+
+
+def _los_path(length: float, bearing: float = 0.0) -> PropagationPath:
+    return PropagationPath(
+        vertices=(Point(0, 0), Point(length, 0)),
+        length_m=length,
+        departure_bearing_rad=bearing,
+        arrival_bearing_rad=bearing + math.pi,
+        excess_loss_db=0.0,
+        kind="los",
+        num_bounces=0,
+    )
+
+
+class TestBeamChannelGain:
+    def test_single_path_magnitude(self):
+        path = _los_path(3.0)
+        gain = beam_channel_gain(
+            [path], tx_field=lambda t: 1.0, rx_field=lambda t: 1.0,
+            tx_orientation_rad=0.0, rx_orientation_rad=math.pi,
+            frequency_hz=FREQ)
+        expected = 10 ** (-float(free_space_path_loss_db(3.0, FREQ)) / 20.0)
+        assert abs(gain) == pytest.approx(expected, rel=1e-3)
+
+    def test_pattern_attenuates(self):
+        path = _los_path(3.0)
+        full = beam_channel_gain([path], lambda t: 1.0, lambda t: 1.0,
+                                 0.0, math.pi, FREQ)
+        half = beam_channel_gain([path], lambda t: 0.5, lambda t: 1.0,
+                                 0.0, math.pi, FREQ)
+        assert abs(half) == pytest.approx(0.5 * abs(full))
+
+    def test_zero_pattern_drops_path(self):
+        path = _los_path(3.0)
+        gain = beam_channel_gain([path], lambda t: 0.0, lambda t: 1.0,
+                                 0.0, math.pi, FREQ)
+        assert gain == 0.0
+
+    def test_excess_loss_applied(self):
+        clean = _los_path(3.0)
+        lossy = PropagationPath(
+            vertices=clean.vertices, length_m=clean.length_m,
+            departure_bearing_rad=0.0, arrival_bearing_rad=math.pi,
+            excess_loss_db=20.0, kind="los", num_bounces=0)
+        g_clean = beam_channel_gain([clean], lambda t: 1.0, lambda t: 1.0,
+                                    0.0, math.pi, FREQ)
+        g_lossy = beam_channel_gain([lossy], lambda t: 1.0, lambda t: 1.0,
+                                    0.0, math.pi, FREQ)
+        assert abs(g_lossy) == pytest.approx(0.1 * abs(g_clean))
+
+    def test_multipath_phases_combine(self):
+        # Two equal paths half a wavelength apart in length cancel.
+        lam = 299792458.0 / FREQ
+        p1 = _los_path(3.0)
+        p2 = _los_path(3.0 + lam / 2)
+        g1 = beam_channel_gain([p1], lambda t: 1.0, lambda t: 1.0,
+                               0.0, math.pi, FREQ)
+        g_both = beam_channel_gain([p1, p2], lambda t: 1.0, lambda t: 1.0,
+                                   0.0, math.pi, FREQ)
+        # Partial cancellation: the sum is smaller than the single path.
+        assert abs(g_both) < abs(g1)
+
+
+class TestChannelResponse:
+    def test_contrast_db(self):
+        ch = ChannelResponse(h1=1.0, h0=0.1, paths=())
+        assert ch.ask_contrast_db == pytest.approx(20.0)
+
+    def test_contrast_with_zero(self):
+        assert ChannelResponse(h1=1.0, h0=0.0, paths=()).ask_contrast_db == math.inf
+        assert ChannelResponse(h1=0.0, h0=0.0, paths=()).ask_contrast_db == 0.0
+
+    def test_inverted_flag(self):
+        assert ChannelResponse(h1=0.1, h0=0.5, paths=()).inverted
+        assert not ChannelResponse(h1=0.5, h0=0.1, paths=()).inverted
+
+    def test_difference_gain_uses_magnitudes(self):
+        # Equal magnitudes with different phases: envelope cannot tell
+        # them apart, so the difference gain must be ~0.
+        ch = ChannelResponse(h1=0.5, h0=0.5j, paths=())
+        assert ch.difference_gain() == pytest.approx(0.0)
+
+    def test_stronger_gain(self):
+        ch = ChannelResponse(h1=0.2, h0=0.7, paths=())
+        assert ch.stronger_gain() == pytest.approx(0.7)
+
+    def test_level_db(self):
+        ch = ChannelResponse(h1=0.1, h0=0.0, paths=())
+        assert ch.level_db(1) == pytest.approx(-20.0)
+        assert ch.level_db(0) == -math.inf
+
+
+class TestTwoBeamGains:
+    def test_clear_los_beam1_dominates_when_facing(self, rng):
+        room = default_lab_room()
+        beams = measured_mmx_beams()
+        node, ap = Point(2.0, 3.0), Point(2.0, 0.15)
+        ch = two_beam_gains(node, ap, room, beams, DipoleElement(),
+                            node_orientation_rad=-math.pi / 2,
+                            ap_orientation_rad=math.pi / 2,
+                            frequency_hz=FREQ)
+        assert abs(ch.h1) > abs(ch.h0)
+        assert not ch.inverted
+
+    def test_blocked_los_inverts(self):
+        room = default_lab_room()
+        beams = measured_mmx_beams()
+        node, ap = Point(2.0, 3.0), Point(2.0, 0.15)
+        room.add_blocker(Blocker(Point(2.0, 1.5), penetration_loss_db=35.0))
+        ch = two_beam_gains(node, ap, room, beams, DipoleElement(),
+                            node_orientation_rad=-math.pi / 2,
+                            ap_orientation_rad=math.pi / 2,
+                            frequency_hz=FREQ)
+        room.clear_blockers()
+        # Fig. 4(b): with the LoS blocked, Beam 0's reflection wins and
+        # the bits invert.
+        assert ch.inverted
+
+    def test_paths_shared_between_beams(self):
+        room = default_lab_room()
+        beams = measured_mmx_beams()
+        ch = two_beam_gains(Point(1.0, 4.0), Point(2.0, 0.15), room, beams,
+                            DipoleElement(),
+                            node_orientation_rad=-math.pi / 2,
+                            ap_orientation_rad=math.pi / 2,
+                            frequency_hz=FREQ)
+        assert len(ch.paths) >= 2

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reproduce_accepts_names(self):
+        args = build_parser().parse_args(["reproduce", "fig07", "table1"])
+        assert args.names == ["fig07", "table1"]
+
+    def test_link_defaults(self):
+        args = build_parser().parse_args(["link"])
+        assert args.distance == 3.0
+        assert not args.blocked
+
+    def test_network_options(self):
+        args = build_parser().parse_args(["network", "--nodes", "5",
+                                          "--seed", "9"])
+        assert args.nodes == 5
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table1" in out
+
+    def test_reproduce_single(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "mmX" in out and "Bluetooth" in out
+
+    def test_reproduce_unknown_fails(self, capsys):
+        assert main(["reproduce", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_link_clear(self, capsys):
+        assert main(["link", "--distance", "2.5"]) == 0
+        out = capsys.readouterr().out
+        assert "SNR with OTAM" in out
+
+    def test_link_blocked_reports_inversion_state(self, capsys):
+        assert main(["link", "--distance", "3.0", "--blocked"]) == 0
+        assert "inverted" in capsys.readouterr().out
+
+    def test_link_too_far_fails(self, capsys):
+        assert main(["link", "--distance", "50"]) == 2
+
+    def test_network(self, capsys):
+        assert main(["network", "--nodes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mean" in out
+        assert out.count("node ") == 3
+
+    def test_characterize(self, capsys):
+        assert main(["characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "sparse" in out

@@ -1,0 +1,154 @@
+"""Smoke tests: every experiment module runs and renders.
+
+The benchmarks assert the published shapes; these tests only guarantee
+the experiment APIs stay runnable from plain pytest (small parameters),
+that renders return non-empty text, and that results are deterministic
+per seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig06_tma,
+    fig07_vco,
+    fig08_patterns,
+    fig09_waveforms,
+    fig10_snr_map,
+    fig11_ber_cdf,
+    fig12_range,
+    fig13_multinode,
+    table1,
+)
+from repro.experiments.report import ascii_heatmap, cdf_points, format_table
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3e-7]],
+                            title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_ascii_heatmap_shape(self):
+        grid = np.arange(12, dtype=float).reshape(3, 4)
+        text = ascii_heatmap(grid, 0.0, 11.0)
+        assert len(text.splitlines()) == 3
+        assert all(len(row) == 4 for row in text.splitlines())
+
+    def test_ascii_heatmap_nan_blank(self):
+        grid = np.array([[np.nan, 5.0]])
+        assert ascii_heatmap(grid, 0.0, 10.0)[0] == " "
+
+    def test_heatmap_invalid_range(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 2)), 1.0, 1.0)
+
+    def test_cdf_points(self):
+        x, p = cdf_points([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert p[-1] == pytest.approx(1.0)
+
+    def test_cdf_empty(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestExperimentSmoke:
+    def test_fig06(self):
+        result = fig06_tma.run()
+        assert fig06_tma.render(result)
+
+    def test_fig07(self):
+        result = fig07_vco.run(num_points=11)
+        assert "VCO" in fig07_vco.render(result)
+
+    def test_fig08(self):
+        result = fig08_patterns.run(num_points=181)
+        assert "Beam 1" in fig08_patterns.render(result)
+
+    def test_fig09(self):
+        result = fig09_waveforms.run(num_placements=40)
+        assert "ambiguous" in fig09_waveforms.render(result)
+
+    def test_fig10(self):
+        result = fig10_snr_map.run(grid_step_m=1.0)
+        text = fig10_snr_map.render(result)
+        assert "OTAM" in text
+        assert result.snr_with_otam_db.shape == result.snr_without_otam_db.shape
+
+    def test_fig11(self):
+        result = fig11_ber_cdf.run(num_placements=10)
+        assert result.ber_with_otam.size == 10
+        assert fig11_ber_cdf.render(result)
+
+    def test_fig12(self):
+        result = fig12_range.run(max_distance_m=10.0, num_points=5,
+                                 num_carriers=2)
+        assert result.distances_m.size == 5
+        assert fig12_range.render(result)
+
+    def test_fig13(self):
+        result = fig13_multinode.run(node_counts=(1, 3), trials_per_count=3)
+        assert result.node_counts == (1, 3)
+        assert fig13_multinode.render(result)
+
+    def test_table1(self):
+        assert "mmX" in table1.render(table1.run())
+
+    def test_ablations(self):
+        text = ablations.render(
+            ablations.run_orthogonality(num_placements=30),
+            ablations.run_modulation(num_placements=30),
+            ablations.run_beam_search())
+        assert "orthogonal" in text
+
+    def test_extensions(self):
+        mob = extensions.run_mobility(duration_s=5.0)
+        assert extensions.render_mobility(mob)
+        sched = extensions.run_scheduler(num_nodes=12, trials=3)
+        assert extensions.render_scheduler(sched)
+        band = extensions.run_60ghz()
+        assert band.capacity_60ghz > band.capacity_24ghz
+        assert extensions.render_60ghz(band)
+        counts = extensions.run_motivation()
+        assert counts["mmx"] > counts["wifi"]
+
+
+class TestDeterminism:
+    def test_fig11_deterministic(self):
+        a = fig11_ber_cdf.run(seed=5, num_placements=8)
+        b = fig11_ber_cdf.run(seed=5, num_placements=8)
+        assert np.array_equal(a.ber_with_otam, b.ber_with_otam)
+
+    def test_fig11_seed_sensitivity(self):
+        a = fig11_ber_cdf.run(seed=5, num_placements=8)
+        b = fig11_ber_cdf.run(seed=6, num_placements=8)
+        assert not np.array_equal(a.ber_with_otam, b.ber_with_otam)
+
+    def test_fig10_deterministic(self):
+        a = fig10_snr_map.run(seed=2, grid_step_m=1.2)
+        b = fig10_snr_map.run(seed=2, grid_step_m=1.2)
+        assert np.array_equal(a.snr_with_otam_db, b.snr_with_otam_db,
+                              equal_nan=True)
+
+    def test_fig13_deterministic(self):
+        a = fig13_multinode.run(seed=1, node_counts=(2,), trials_per_count=2)
+        b = fig13_multinode.run(seed=1, node_counts=(2,), trials_per_count=2)
+        assert np.array_equal(a.mean_sinr_db, b.mean_sinr_db)
+
+
+class TestOracleAblation:
+    def test_runs_and_renders(self):
+        from repro.experiments import ablations
+        result = ablations.run_oracle_comparison(num_placements=20)
+        assert result.num_placements == 20
+        assert "phased array" in ablations.render_oracle(result)
+
+    def test_oracle_never_worse_on_outage(self):
+        from repro.experiments import ablations
+        result = ablations.run_oracle_comparison(num_placements=30)
+        assert result.oracle_outage <= result.otam_outage

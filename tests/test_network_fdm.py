@@ -1,0 +1,109 @@
+"""Tests for the FDM channel allocator."""
+
+import pytest
+
+from repro.constants import ISM_24GHZ_HIGH_HZ, ISM_24GHZ_LOW_HZ
+from repro.network.fdm import ChannelPlan, FdmAllocator, SpectrumExhausted
+
+
+class TestChannelPlan:
+    def test_edges(self):
+        plan = ChannelPlan(node_id=0, center_hz=24.1e9, bandwidth_hz=20e6)
+        assert plan.low_hz == pytest.approx(24.09e9)
+        assert plan.high_hz == pytest.approx(24.11e9)
+
+    def test_overlap_detection(self):
+        a = ChannelPlan(0, 24.10e9, 20e6)
+        b = ChannelPlan(1, 24.11e9, 20e6)
+        c = ChannelPlan(2, 24.20e9, 20e6)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_adjacent_channels_do_not_overlap(self):
+        a = ChannelPlan(0, 24.10e9, 20e6)
+        b = ChannelPlan(1, 24.12e9, 20e6)  # edges touch exactly
+        assert not a.overlaps(b)
+
+
+class TestAllocator:
+    def test_sizing_scales_with_rate(self):
+        alloc = FdmAllocator()
+        assert (alloc.channel_bandwidth_for_rate(10e6)
+                > alloc.channel_bandwidth_for_rate(1e6))
+
+    def test_min_channel_floor(self):
+        alloc = FdmAllocator(min_channel_hz=1e6)
+        assert alloc.channel_bandwidth_for_rate(1.0) == 1e6
+
+    def test_allocations_disjoint(self):
+        alloc = FdmAllocator()
+        plans = [alloc.allocate(i, 10e6) for i in range(5)]
+        for i, a in enumerate(plans):
+            for b in plans[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_allocations_inside_band(self):
+        alloc = FdmAllocator()
+        for i in range(8):
+            plan = alloc.allocate(i, 10e6)
+            assert plan.low_hz >= ISM_24GHZ_LOW_HZ
+            assert plan.high_hz <= ISM_24GHZ_HIGH_HZ
+
+    def test_exhaustion_raises(self):
+        alloc = FdmAllocator()
+        with pytest.raises(SpectrumExhausted):
+            for i in range(100):
+                alloc.allocate(i, 20e6)
+
+    def test_hd_camera_capacity(self):
+        # Footnote 1: HD video needs ~10 Mbps.  The 250 MHz band should
+        # host at least 8 such cameras under FDM alone.
+        alloc = FdmAllocator()
+        count = 0
+        try:
+            for i in range(100):
+                alloc.allocate(i, 10e6)
+                count += 1
+        except SpectrumExhausted:
+            pass
+        assert count >= 8
+
+    def test_release_and_reuse(self):
+        alloc = FdmAllocator()
+        first = alloc.allocate(0, 50e6)
+        alloc.release(0)
+        again = alloc.allocate(1, 50e6)
+        assert again.center_hz == pytest.approx(first.center_hz)
+
+    def test_release_unknown(self):
+        with pytest.raises(KeyError):
+            FdmAllocator().release(3)
+
+    def test_duplicate_node_rejected(self):
+        alloc = FdmAllocator()
+        alloc.allocate(1, 1e6)
+        with pytest.raises(ValueError):
+            alloc.allocate(1, 1e6)
+
+    def test_first_fit_reuses_gaps(self):
+        alloc = FdmAllocator(guard_fraction=0.0)
+        a = alloc.allocate(0, 10e6)
+        b = alloc.allocate(1, 10e6)
+        alloc.release(0)
+        c = alloc.allocate(2, 5e6)  # smaller request fits the gap
+        assert c.low_hz >= a.low_hz - 1.0
+        assert c.high_hz <= b.low_hz + 1.0
+
+    def test_plans_sorted(self):
+        alloc = FdmAllocator()
+        for i in range(4):
+            alloc.allocate(i, 10e6)
+        centers = [p.center_hz for p in alloc.plans]
+        assert centers == sorted(centers)
+
+    def test_plan_lookup(self):
+        alloc = FdmAllocator()
+        plan = alloc.allocate(7, 10e6)
+        assert alloc.plan_for(7) == plan
+        with pytest.raises(KeyError):
+            alloc.plan_for(8)

@@ -1,0 +1,107 @@
+"""Tests for repro.phy.ber: closed-form error-rate theory."""
+
+import numpy as np
+import pytest
+
+from repro.phy import ber
+
+
+class TestQFunction:
+    def test_q_of_zero_is_half(self):
+        assert ber.qfunc(0.0) == pytest.approx(0.5)
+
+    def test_q_is_decreasing(self):
+        x = np.linspace(-3, 5, 50)
+        q = ber.qfunc(x)
+        assert np.all(np.diff(q) < 0)
+
+    def test_known_value(self):
+        # Q(1.6449) ~ 0.05
+        assert ber.qfunc(1.6449) == pytest.approx(0.05, abs=1e-4)
+
+    def test_inverse_roundtrip(self):
+        for p in (0.4, 0.1, 1e-3, 1e-9):
+            assert ber.qfunc(ber.qfunc_inv(p)) == pytest.approx(p, rel=1e-9)
+
+
+class TestBerCurves:
+    def test_all_decrease_with_snr(self):
+        snr = np.linspace(-5, 25, 40)
+        for fn in (ber.ber_ook_coherent, ber.ber_ook_noncoherent,
+                   ber.ber_fsk_noncoherent, ber.ber_fsk_coherent,
+                   ber.ber_bpsk):
+            values = fn(snr)
+            assert np.all(np.diff(values) < 0), fn.__name__
+
+    def test_bpsk_best_then_fsk_then_ook(self):
+        # At equal average SNR: BPSK < coherent FSK < coherent OOK.
+        snr = 10.0
+        assert ber.ber_bpsk(snr) < ber.ber_fsk_coherent(snr)
+        assert ber.ber_fsk_coherent(snr) < ber.ber_ook_coherent(snr)
+
+    def test_noncoherent_never_beats_coherent_ook(self):
+        snr = np.linspace(-10, 30, 60)
+        assert np.all(ber.ber_ook_noncoherent(snr) >= ber.ber_ook_coherent(snr) - 1e-15)
+
+    def test_low_snr_limit_half(self):
+        assert float(ber.ber_ook_coherent(-40.0)) == pytest.approx(0.5, abs=0.01)
+        assert float(ber.ber_fsk_noncoherent(-40.0)) == pytest.approx(0.5, abs=0.01)
+
+    def test_high_snr_vanishes(self):
+        assert float(ber.ber_ook_coherent(30.0)) < 1e-100
+        assert float(ber.ber_fsk_noncoherent(30.0)) < 1e-100
+
+    def test_paper_operating_point(self):
+        # Section 9.4: SNR >= 15 dB gives BER below 1e-8 under the
+        # paper's ASK BER table convention.
+        assert float(ber.ber_ask_table(15.0)) < 1e-8
+
+    def test_paper_table_decreases(self):
+        snr = np.linspace(-5, 25, 40)
+        assert np.all(np.diff(ber.ber_ask_table(snr)) < 0)
+
+    def test_paper_table_more_optimistic_than_textbook(self):
+        assert ber.ber_ask_table(12.0) < ber.ber_ook_coherent(12.0)
+
+
+class TestAskCoherent:
+    def test_matches_ook_at_full_separation(self):
+        snr = np.linspace(0, 20, 10)
+        assert np.allclose(ber.ber_ask_coherent(snr),
+                           ber.ber_ook_coherent(snr))
+
+    def test_derating_raises_ber(self):
+        assert (ber.ber_ask_coherent(10.0, separation_fraction=0.5)
+                > ber.ber_ask_coherent(10.0, separation_fraction=1.0))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ber.ber_ask_coherent(10.0, separation_fraction=0.0)
+        with pytest.raises(ValueError):
+            ber.ber_ask_coherent(10.0, separation_fraction=1.5)
+
+
+class TestSnrForTargetBer:
+    def test_roundtrip_ook(self):
+        snr = ber.snr_db_for_target_ber(1e-6, "ook")
+        assert float(ber.ber_ook_coherent(snr)) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_roundtrip_fsk(self):
+        snr = ber.snr_db_for_target_ber(1e-6, "fsk")
+        assert float(ber.ber_fsk_noncoherent(snr)) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_roundtrip_bpsk(self):
+        snr = ber.snr_db_for_target_ber(1e-6, "bpsk")
+        assert float(ber.ber_bpsk(snr)) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_tighter_target_needs_more_snr(self):
+        assert (ber.snr_db_for_target_ber(1e-9, "ook")
+                > ber.snr_db_for_target_ber(1e-3, "ook"))
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            ber.snr_db_for_target_ber(0.6)
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ValueError):
+            ber.snr_db_for_target_ber(1e-3, "qam4096")

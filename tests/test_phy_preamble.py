@@ -1,0 +1,103 @@
+"""Tests for repro.phy.preamble: Barker correlation and polarity."""
+
+import numpy as np
+import pytest
+
+from repro.phy import preamble as P
+from repro.phy.bits import random_bits
+
+
+class TestBarker:
+    def test_length_13(self):
+        assert P.BARKER13.size == 13
+
+    def test_autocorrelation_sidelobes(self):
+        bipolar = 2.0 * P.BARKER13.astype(float) - 1.0
+        full = np.correlate(bipolar, bipolar, mode="full")
+        peak = full[len(bipolar) - 1]
+        sidelobes = np.delete(full, len(bipolar) - 1)
+        assert peak == pytest.approx(13.0)
+        assert np.max(np.abs(sidelobes)) <= 1.0 + 1e-9
+
+    def test_default_preamble_repeats(self):
+        pre = P.default_preamble_bits(repeats=3)
+        assert pre.size == 39
+        assert np.array_equal(pre[:13], P.BARKER13)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            P.default_preamble_bits(0)
+
+
+def _soft(bits):
+    return 2.0 * np.asarray(bits, dtype=float) - 1.0
+
+
+class TestLocatePreamble:
+    def test_finds_at_start(self, rng):
+        pre = P.default_preamble_bits()
+        stream = np.concatenate([pre, random_bits(64, rng)])
+        det = P.locate_preamble(_soft(stream))
+        assert det.found
+        assert det.start_index == 0
+        assert not det.inverted
+
+    def test_finds_at_offset(self, rng):
+        pre = P.default_preamble_bits()
+        stream = np.concatenate([random_bits(17, rng), pre,
+                                 random_bits(40, rng)])
+        det = P.locate_preamble(_soft(stream))
+        assert det.found
+        assert det.start_index == 17
+
+    def test_detects_inversion(self, rng):
+        # The blocked-LoS case: every bit flipped.
+        pre = P.default_preamble_bits()
+        stream = np.concatenate([pre, random_bits(64, rng)])
+        det = P.locate_preamble(_soft(1 - stream))
+        assert det.found
+        assert det.inverted
+        assert det.start_index == 0
+
+    def test_absent_preamble_not_found(self, rng):
+        stream = random_bits(40, rng)
+        det = P.locate_preamble(_soft(stream), threshold=0.9)
+        assert not det.found
+
+    def test_too_short_stream(self):
+        det = P.locate_preamble(np.ones(5))
+        assert not det.found
+        assert det.start_index == -1
+
+    def test_tolerates_bit_errors(self, rng):
+        pre = P.default_preamble_bits()
+        stream = np.concatenate([pre, random_bits(64, rng)])
+        corrupted = stream.copy()
+        corrupted[[2, 9, 20]] ^= 1  # 3 of 26 preamble bits wrong
+        det = P.locate_preamble(_soft(corrupted))
+        assert det.found
+        assert det.start_index == 0
+        assert not det.inverted
+
+    def test_noisy_soft_values(self, rng):
+        pre = P.default_preamble_bits()
+        stream = np.concatenate([pre, random_bits(64, rng)])
+        soft = _soft(stream) + 0.4 * rng.standard_normal(stream.size)
+        det = P.locate_preamble(soft)
+        assert det.found
+        assert det.start_index == 0
+
+
+class TestCorrelate:
+    def test_peak_value_is_one_for_exact_match(self):
+        pre = P.default_preamble_bits()
+        corr = P.correlate_preamble(_soft(pre), pre)
+        assert corr[0] == pytest.approx(1.0)
+
+    def test_inverted_match_is_minus_one(self):
+        pre = P.default_preamble_bits()
+        corr = P.correlate_preamble(-_soft(pre), pre)
+        assert corr[0] == pytest.approx(-1.0)
+
+    def test_empty_when_stream_short(self):
+        assert P.correlate_preamble(np.ones(3), P.BARKER13).size == 0

@@ -1,0 +1,134 @@
+"""Tests for repro.phy.waveform."""
+
+import numpy as np
+import pytest
+
+from repro.phy import waveform as W
+
+
+class TestWaveform:
+    def test_duration(self):
+        w = W.Waveform(np.zeros(800, dtype=complex), 8e6)
+        assert w.duration_s == pytest.approx(1e-4)
+
+    def test_power_of_unit_tone(self):
+        w = W.carrier(1e5, 1e-3, 8e6)
+        assert w.power() == pytest.approx(1.0)
+
+    def test_power_empty_is_zero(self):
+        assert W.Waveform(np.zeros(0, dtype=complex), 1e6).power() == 0.0
+
+    def test_scaled(self):
+        w = W.carrier(0.0, 1e-4, 8e6).scaled(2.0)
+        assert w.power() == pytest.approx(4.0)
+
+    def test_concat_rate_mismatch(self):
+        a = W.carrier(0.0, 1e-4, 8e6)
+        b = W.carrier(0.0, 1e-4, 4e6)
+        with pytest.raises(ValueError):
+            a.concatenated(b)
+
+    def test_concat_lengths_add(self):
+        a = W.carrier(0.0, 1e-4, 8e6)
+        assert len(a.concatenated(a)) == 2 * len(a)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            W.Waveform(np.zeros(4, dtype=complex), 0.0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            W.Waveform(np.zeros((2, 4), dtype=complex), 1e6)
+
+
+class TestCarrier:
+    def test_frequency_is_correct(self):
+        f, fs = 1e6, 16e6
+        w = W.carrier(f, 1e-3, fs)
+        spectrum = np.fft.fft(w.samples)
+        freqs = np.fft.fftfreq(len(w), 1 / fs)
+        peak = freqs[np.argmax(np.abs(spectrum))]
+        assert peak == pytest.approx(f, abs=fs / len(w))
+
+    def test_phase_offset(self):
+        w = W.carrier(0.0, 1e-4, 8e6, phase_rad=np.pi / 2)
+        assert w.samples[0] == pytest.approx(1j)
+
+
+class TestOok:
+    def test_envelope_follows_bits(self):
+        w = W.ook_waveform([1, 0, 1], 1e6, 8e6)
+        env = np.abs(w.samples).reshape(3, 8).mean(axis=1)
+        assert env == pytest.approx([1.0, 0.0, 1.0])
+
+    def test_custom_levels(self):
+        w = W.ook_waveform([1, 0], 1e6, 8e6, high=2.0, low=0.5)
+        env = np.abs(w.samples).reshape(2, 8).mean(axis=1)
+        assert env == pytest.approx([2.0, 0.5])
+
+    def test_non_integer_sps_rejected(self):
+        with pytest.raises(ValueError):
+            W.ook_waveform([1, 0], 3e6, 8e6)
+
+    def test_too_low_rate_rejected(self):
+        with pytest.raises(ValueError):
+            W.ook_waveform([1], 8e6, 8e6)
+
+
+class TestTwoLevel:
+    def test_amplitudes_keyed_by_bits(self):
+        w = W.two_level_waveform([1, 0, 1, 1], 1e6, 8e6,
+                                 amp_one=1.0, amp_zero=0.25)
+        env = np.abs(w.samples).reshape(4, 8).mean(axis=1)
+        assert env == pytest.approx([1.0, 0.25, 1.0, 1.0])
+
+    def test_complex_amplitudes_allowed(self):
+        w = W.two_level_waveform([1, 0], 1e6, 8e6,
+                                 amp_one=1j, amp_zero=0.5 * np.exp(1j))
+        env = np.abs(w.samples).reshape(2, 8).mean(axis=1)
+        assert env == pytest.approx([1.0, 0.5])
+
+    def test_phase_continuity(self):
+        # Phase must not jump at bit boundaries (free-running VCO).
+        w = W.two_level_waveform([1, 0, 1], 1e6, 16e6,
+                                 amp_one=1.0, amp_zero=1.0,
+                                 freq_one_hz=5e5, freq_zero_hz=-5e5)
+        phase = np.unwrap(np.angle(w.samples))
+        steps = np.abs(np.diff(phase))
+        assert steps.max() < 0.5  # max per-sample advance ~2*pi*f/fs
+
+    def test_fsk_tones_present(self):
+        fs = 16e6
+        w = W.two_level_waveform([1] * 16, 1e6, fs, 1.0, 1.0,
+                                 freq_one_hz=5e5, freq_zero_hz=-5e5)
+        spectrum = np.abs(np.fft.fft(w.samples))
+        freqs = np.fft.fftfreq(len(w), 1 / fs)
+        assert freqs[np.argmax(spectrum)] == pytest.approx(5e5, abs=1e5)
+
+
+class TestAwgn:
+    def test_noise_power(self, rng):
+        noise = W.awgn_noise(200_000, 0.25, rng)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(0.25, rel=0.02)
+
+    def test_add_awgn_sets_snr(self, rng):
+        clean = W.carrier(1e5, 1e-2, 8e6)
+        noisy = W.add_awgn(clean, snr_db=10.0, rng=rng)
+        noise = noisy.samples - clean.samples
+        measured = 10 * np.log10(clean.power() / np.mean(np.abs(noise) ** 2))
+        assert measured == pytest.approx(10.0, abs=0.3)
+
+    def test_reference_power_override(self, rng):
+        clean = W.carrier(0.0, 1e-3, 8e6, amplitude=0.5)
+        noisy = W.add_awgn(clean, snr_db=0.0, rng=rng, reference_power=1.0)
+        noise_power = np.mean(np.abs(noisy.samples - clean.samples) ** 2)
+        assert noise_power == pytest.approx(1.0, rel=0.1)
+
+    def test_zero_power_rejected(self, rng):
+        silent = W.Waveform(np.zeros(16, dtype=complex), 8e6)
+        with pytest.raises(ValueError):
+            W.add_awgn(silent, 10.0, rng)
+
+    def test_negative_noise_power_rejected(self):
+        with pytest.raises(ValueError):
+            W.awgn_noise(10, -1.0)

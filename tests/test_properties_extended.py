@@ -1,0 +1,98 @@
+"""Additional property-based tests: timing, throughput, scheduling, TMA."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.throughput import CODING_MODES, frame_success_probability, goodput_bps
+from repro.network.sdm_scheduler import (
+    AngularSdmScheduler,
+    assignment_min_separation_rad,
+)
+from repro.phy.timing import estimate_timing_offset
+from repro.phy.waveform import Waveform
+from repro.sim.environment import default_lab_room
+from repro.sim.placement import PlacementSampler
+
+
+class TestTimingProperties:
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=64),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40)
+    def test_offset_recovered_for_any_pattern_with_transitions(self, bits,
+                                                               cut):
+        assume(len(set(bits)) == 2)  # needs at least one level transition
+        sps = 8
+        # Two-level envelope with distinct amplitudes; cut samples off
+        # the front to create a timing offset.
+        env = np.repeat(np.where(np.asarray(bits) == 1, 1.0, 0.25), sps)
+        samples = env.astype(complex)[cut:]
+        assume(samples.size >= 3 * sps)
+        wave = Waveform(samples, 8e6)
+        estimated = estimate_timing_offset(wave, sps)
+        assert estimated == (sps - cut) % sps
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=10)
+    def test_constant_signal_any_sps(self, sps):
+        wave = Waveform(np.ones(sps * 12, dtype=complex), 8e6)
+        assert estimate_timing_offset(wave, sps) == 0
+
+
+class TestThroughputProperties:
+    bers = st.floats(min_value=0.0, max_value=0.3)
+
+    @given(bers, bers, st.integers(min_value=1, max_value=512))
+    @settings(max_examples=40)
+    def test_frame_success_monotone_in_ber(self, a, b, payload):
+        lo, hi = min(a, b), max(a, b)
+        for mode in CODING_MODES:
+            assert (frame_success_probability(lo, payload, mode)
+                    >= frame_success_probability(hi, payload, mode) - 1e-12)
+
+    @given(st.floats(min_value=-10, max_value=40),
+           st.integers(min_value=1, max_value=512))
+    @settings(max_examples=40)
+    def test_goodput_bounded_by_link_rate(self, snr, payload):
+        for mode in CODING_MODES:
+            rate = goodput_bps(snr, 1e6, payload, mode)
+            assert 0.0 <= rate <= 1e6
+
+    @given(st.floats(min_value=0.0, max_value=0.3),
+           st.integers(min_value=1, max_value=256))
+    @settings(max_examples=40)
+    def test_success_is_probability(self, ber, payload):
+        for mode in CODING_MODES:
+            p = frame_success_probability(ber, payload, mode)
+            assert 0.0 <= p <= 1.0
+
+
+class TestSchedulerProperties:
+    @given(st.integers(min_value=2, max_value=24),
+           st.integers(min_value=1, max_value=10),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_assignment_is_balanced_and_valid(self, n_nodes, n_channels,
+                                              seed):
+        room = default_lab_room()
+        sampler = PlacementSampler(room, np.random.default_rng(seed))
+        placements = sampler.sample_many(n_nodes)
+        channels = AngularSdmScheduler(n_channels).assign(placements)
+        assert len(channels) == n_nodes
+        assert all(0 <= c < n_channels for c in channels)
+        counts = [channels.count(c) for c in range(n_channels)]
+        assert max(counts) - min(counts) <= 1  # balanced loads
+
+    @given(st.integers(min_value=4, max_value=20),
+           st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_separation_metric_bounds(self, n_nodes, seed):
+        room = default_lab_room()
+        sampler = PlacementSampler(room, np.random.default_rng(seed))
+        placements = sampler.sample_many(n_nodes)
+        channels = AngularSdmScheduler(3).assign(placements)
+        sep = assignment_min_separation_rad(placements, channels)
+        assert 0.0 <= sep <= math.pi

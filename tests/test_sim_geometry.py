@@ -1,0 +1,150 @@
+"""Tests for the 2-D geometry primitives under the ray tracer."""
+
+import math
+
+import pytest
+
+from repro.sim.geometry import (
+    Point,
+    Segment,
+    angle_of,
+    distance,
+    normalize_angle,
+    reflect_point_across_line,
+    segment_circle_intersects,
+    segment_intersection,
+)
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        p = Point(1.0, 2.0) + Point(3.0, -1.0)
+        assert (p.x, p.y) == (4.0, 1.0)
+        q = Point(1.0, 2.0) - Point(1.0, 2.0)
+        assert (q.x, q.y) == (0.0, 0.0)
+
+    def test_norm(self):
+        assert Point(3.0, 4.0).norm() == pytest.approx(5.0)
+
+    def test_scaled(self):
+        p = Point(1.0, -2.0).scaled(2.0)
+        assert (p.x, p.y) == (2.0, -4.0)
+
+    def test_iterable(self):
+        assert tuple(Point(5.0, 6.0)) == (5.0, 6.0)
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length() == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        mid = Segment(Point(0, 0), Point(2, 4)).midpoint()
+        assert (mid.x, mid.y) == (1.0, 2.0)
+
+
+class TestIntersection:
+    def test_crossing_segments(self):
+        hit = segment_intersection(Segment(Point(0, 0), Point(2, 2)),
+                                   Segment(Point(0, 2), Point(2, 0)))
+        assert hit is not None
+        assert (hit.x, hit.y) == pytest.approx((1.0, 1.0))
+
+    def test_parallel_miss(self):
+        assert segment_intersection(Segment(Point(0, 0), Point(1, 0)),
+                                    Segment(Point(0, 1), Point(1, 1))) is None
+
+    def test_non_crossing_skew(self):
+        assert segment_intersection(Segment(Point(0, 0), Point(1, 1)),
+                                    Segment(Point(3, 0), Point(4, 1))) is None
+
+    def test_endpoint_touch_counts(self):
+        hit = segment_intersection(Segment(Point(0, 0), Point(1, 1)),
+                                   Segment(Point(1, 1), Point(2, 0)))
+        assert hit is not None
+        assert (hit.x, hit.y) == pytest.approx((1.0, 1.0))
+
+    def test_collinear_overlap(self):
+        hit = segment_intersection(Segment(Point(0, 0), Point(2, 0)),
+                                   Segment(Point(1, 0), Point(3, 0)))
+        assert hit is not None
+
+    def test_collinear_disjoint(self):
+        assert segment_intersection(Segment(Point(0, 0), Point(1, 0)),
+                                    Segment(Point(2, 0), Point(3, 0))) is None
+
+
+class TestCircleIntersection:
+    def test_segment_through_circle(self):
+        assert segment_circle_intersects(
+            Segment(Point(-1, 0), Point(1, 0)), Point(0, 0), 0.25)
+
+    def test_segment_missing_circle(self):
+        assert not segment_circle_intersects(
+            Segment(Point(-1, 1), Point(1, 1)), Point(0, 0), 0.25)
+
+    def test_grazing_tangent(self):
+        assert segment_circle_intersects(
+            Segment(Point(-1, 0.25), Point(1, 0.25)), Point(0, 0), 0.25)
+
+    def test_endpoint_inside(self):
+        assert segment_circle_intersects(
+            Segment(Point(0.1, 0), Point(5, 0)), Point(0, 0), 0.25)
+
+    def test_degenerate_segment(self):
+        assert segment_circle_intersects(
+            Segment(Point(0, 0), Point(0, 0)), Point(0.1, 0), 0.25)
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            segment_circle_intersects(
+                Segment(Point(0, 0), Point(1, 0)), Point(0, 0), -0.1)
+
+
+class TestReflection:
+    def test_reflect_across_x_axis(self):
+        image = reflect_point_across_line(
+            Point(1.0, 2.0), Segment(Point(0, 0), Point(1, 0)))
+        assert (image.x, image.y) == pytest.approx((1.0, -2.0))
+
+    def test_reflect_across_diagonal(self):
+        image = reflect_point_across_line(
+            Point(2.0, 0.0), Segment(Point(0, 0), Point(1, 1)))
+        assert (image.x, image.y) == pytest.approx((0.0, 2.0))
+
+    def test_point_on_line_unchanged(self):
+        image = reflect_point_across_line(
+            Point(0.5, 0.5), Segment(Point(0, 0), Point(1, 1)))
+        assert (image.x, image.y) == pytest.approx((0.5, 0.5))
+
+    def test_involution(self):
+        line = Segment(Point(0, 3), Point(5, 1))
+        p = Point(2.0, -1.0)
+        twice = reflect_point_across_line(
+            reflect_point_across_line(p, line), line)
+        assert (twice.x, twice.y) == pytest.approx((p.x, p.y))
+
+    def test_degenerate_line(self):
+        with pytest.raises(ValueError):
+            reflect_point_across_line(Point(0, 0),
+                                      Segment(Point(1, 1), Point(1, 1)))
+
+
+class TestAngles:
+    def test_angle_of_east(self):
+        assert angle_of(Point(0, 0), Point(1, 0)) == pytest.approx(0.0)
+
+    def test_angle_of_north(self):
+        assert angle_of(Point(0, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_normalize_wraps_down(self):
+        assert normalize_angle(3 * math.pi) == pytest.approx(math.pi)
+
+    def test_normalize_wraps_up(self):
+        assert normalize_angle(-3 * math.pi / 2) == pytest.approx(math.pi / 2)
+
+    def test_normalize_identity_in_range(self):
+        assert normalize_angle(0.5) == pytest.approx(0.5)
+
+    def test_distance(self):
+        assert distance(Point(1, 1), Point(4, 5)) == pytest.approx(5.0)

@@ -1,0 +1,70 @@
+"""Tests for repro.units: dB/linear/dBm conversions."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.constants import SPEED_OF_LIGHT
+
+
+class TestDbConversions:
+    def test_db_to_linear_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_db_to_linear_ten_db_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db_roundtrip(self):
+        values = np.array([0.001, 0.5, 1.0, 7.3, 1e6])
+        assert units.db_to_linear(units.linear_to_db(values)) == pytest.approx(values)
+
+    def test_linear_to_db_of_zero_is_neg_inf(self):
+        assert units.linear_to_db(0.0) == -np.inf
+
+    def test_negative_db_is_attenuation(self):
+        assert units.db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_vectorised(self):
+        out = units.db_to_linear([0.0, 10.0, 20.0])
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_roundtrip(self):
+        for p in (1e-9, 1e-3, 0.5, 2.0):
+            assert units.dbm_to_watts(units.watts_to_dbm(p)) == pytest.approx(p)
+
+    def test_watts_to_dbm_zero_is_neg_inf(self):
+        assert units.watts_to_dbm(0.0) == -np.inf
+
+    def test_dbm_ratio(self):
+        assert units.dbm_to_db_ratio(10.0, 7.0) == pytest.approx(3.0)
+
+
+class TestAmplitudeConversions:
+    def test_amplitude_to_db_uses_20log(self):
+        assert units.amplitude_to_db(10.0) == pytest.approx(20.0)
+
+    def test_db_to_amplitude_roundtrip(self):
+        for a in (0.01, 0.5, 1.0, 3.0):
+            assert units.db_to_amplitude(units.amplitude_to_db(a)) == pytest.approx(a)
+
+    def test_negative_amplitude_uses_magnitude(self):
+        assert units.amplitude_to_db(-10.0) == pytest.approx(20.0)
+
+
+class TestWavelength:
+    def test_24ghz_wavelength(self):
+        lam = units.wavelength(24.0e9)
+        assert lam == pytest.approx(SPEED_OF_LIGHT / 24.0e9)
+        assert 0.012 < lam < 0.013  # ~12.5 mm, hence "millimeter wave"
+
+    def test_vectorised(self):
+        lams = units.wavelength([24.0e9, 60.0e9])
+        assert lams[0] > lams[1]

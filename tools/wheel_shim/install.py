@@ -1,0 +1,55 @@
+"""Install the wheel shim into the running interpreter's site-packages.
+
+Run once in offline environments where `pip install -e .` fails with
+"invalid command 'bdist_wheel'" or "It is not possible to use
+--no-use-pep517 without setuptools and wheel installed":
+
+    python tools/wheel_shim/install.py
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+DIST_INFO = "wheel-0.43.0+shim.dist-info"
+METADATA = """Metadata-Version: 2.1
+Name: wheel
+Version: 0.43.0+shim
+Summary: Minimal offline shim of the wheel package (editable installs only)
+"""
+ENTRY_POINTS = """[distutils.commands]
+bdist_wheel = wheel.bdist_wheel:bdist_wheel
+"""
+
+
+def main() -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    source = os.path.join(here, "wheel")
+    target_root = site.getsitepackages()[0]
+    package_target = os.path.join(target_root, "wheel")
+    if os.path.exists(package_target):
+        print(f"a 'wheel' package already exists at {package_target}; "
+              "nothing to do")
+        return 0
+    shutil.copytree(source, package_target)
+    dist_info = os.path.join(target_root, DIST_INFO)
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as handle:
+        handle.write(METADATA)
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as handle:
+        handle.write(ENTRY_POINTS)
+    with open(os.path.join(dist_info, "top_level.txt"), "w") as handle:
+        handle.write("wheel\n")
+    with open(os.path.join(dist_info, "INSTALLER"), "w") as handle:
+        handle.write("wheel-shim\n")
+    with open(os.path.join(dist_info, "RECORD"), "w") as handle:
+        handle.write("")
+    print(f"wheel shim installed into {target_root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Minimal pure-Python shim of the `wheel` package (offline bootstrap).
+
+Offline environments sometimes carry setuptools but not `wheel`, which
+blocks ``pip install -e .`` (setuptools' PEP 660 editable builds import
+``wheel.wheelfile`` and the ``bdist_wheel`` command).  This shim
+implements exactly the surface setuptools>=64 needs to build editable
+wheels: :class:`wheel.wheelfile.WheelFile` and a ``bdist_wheel``
+distutils command exposing ``get_tag()`` and ``write_wheelfile()``.
+
+It is NOT a general replacement for the real `wheel` project — it only
+supports pure-Python wheels and the editable-install path.  Install by
+copying ``wheel/`` and ``wheel-*.dist-info/`` into site-packages (see
+tools/wheel_shim/install.py).
+"""
+
+__version__ = "0.43.0+shim"

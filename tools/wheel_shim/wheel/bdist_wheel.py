@@ -1,0 +1,137 @@
+"""Minimal ``bdist_wheel`` distutils command (editable installs only)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from distutils.core import Command
+
+from . import __version__
+
+
+def _python_tag() -> str:
+    return f"py{sys.version_info[0]}"
+
+
+class bdist_wheel(Command):
+    """Just enough of the real command for setuptools' editable wheels.
+
+    setuptools' PEP 660 implementation only calls :meth:`get_tag` and
+    :meth:`write_wheelfile`; building a regular (non-editable) wheel is
+    intentionally unsupported here.
+    """
+
+    description = "minimal bdist_wheel shim (editable installs only)"
+    user_options = [
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("plat-name=", "p", "platform name (ignored; pure wheels only)"),
+    ]
+
+    def initialize_options(self):
+        """distutils hook: declare the options the shim accepts."""
+        self.dist_dir = None
+        self.plat_name = None
+
+    def finalize_options(self):
+        """distutils hook: defaults for unset options."""
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    def get_tag(self):
+        """(python, abi, platform) — always a pure-Python tag."""
+        return (_python_tag(), "none", "any")
+
+    def write_wheelfile(self, wheelfile_base,
+                        generator=f"wheel-shim ({__version__})"):
+        """Write the dist-info WHEEL metadata file."""
+        tag = "-".join(self.get_tag())
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {tag}\n"
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+
+    def run(self):
+        raise NotImplementedError(
+            "this is a minimal shim for editable installs; install the real "
+            "'wheel' package to build distributable wheels")
+
+
+def _requires_to_requires_dist(requirement: str) -> str:
+    return requirement.strip()
+
+
+def _convert_requires_txt(requires_path: str) -> list[str]:
+    """Translate egg-info requires.txt into Requires-Dist/Provides-Extra."""
+    lines: list[str] = []
+    extras: list[str] = []
+    section = ""
+    with open(requires_path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("[") and line.endswith("]"):
+                section = line[1:-1]
+                extra = section.split(":", 1)[0]
+                if extra and extra not in extras:
+                    extras.append(extra)
+                continue
+            requirement = _requires_to_requires_dist(line)
+            if not section:
+                lines.append(f"Requires-Dist: {requirement}")
+                continue
+            extra, _, condition = section.partition(":")
+            markers = []
+            if condition:
+                markers.append(f"({condition})" if extra else condition)
+            if extra:
+                markers.append(f'extra == "{extra}"')
+            lines.append(
+                f"Requires-Dist: {requirement}; {' and '.join(markers)}")
+    return ([f"Provides-Extra: {name}" for name in extras]) + lines
+
+
+def _egg2dist(egginfo_path: str, distinfo_path: str) -> None:
+    """Convert an .egg-info directory into a .dist-info directory."""
+    import shutil
+
+    if os.path.isdir(distinfo_path):
+        shutil.rmtree(distinfo_path)
+    os.makedirs(distinfo_path)
+
+    pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+    with open(pkg_info, encoding="utf-8") as handle:
+        metadata = handle.read()
+    # Split headers from the (optional) long-description body.
+    if "\n\n" in metadata:
+        headers, body = metadata.split("\n\n", 1)
+    else:
+        headers, body = metadata.rstrip("\n"), ""
+    requires = os.path.join(egginfo_path, "requires.txt")
+    extra_headers: list[str] = []
+    if os.path.exists(requires):
+        existing = {line.split(":", 1)[0] for line in headers.splitlines()}
+        if "Requires-Dist" not in existing:
+            extra_headers = _convert_requires_txt(requires)
+    merged = headers
+    if extra_headers:
+        merged += "\n" + "\n".join(extra_headers)
+    content = merged + ("\n\n" + body if body else "\n")
+    with open(os.path.join(distinfo_path, "METADATA"), "w",
+              encoding="utf-8") as handle:
+        handle.write(content)
+
+    for name in ("entry_points.txt", "top_level.txt"):
+        source = os.path.join(egginfo_path, name)
+        if os.path.exists(source):
+            shutil.copy2(source, os.path.join(distinfo_path, name))
+
+
+# Attach as a method so setuptools' dist_info command can call it.
+bdist_wheel.egg2dist = staticmethod(_egg2dist)

@@ -1,0 +1,90 @@
+"""A minimal WheelFile: a ZipFile that maintains the wheel RECORD."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import stat
+import zipfile
+
+_DIST_INFO_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^\s-]+?)-(?P<ver>[^\s-]+?))"
+    r"(-(?P<build>\d[^\s-]*))?-(?P<pyver>[^\s-]+?)"
+    r"-(?P<abi>[^\s-]+?)-(?P<plat>[^\s-]+?)\.whl$")
+
+
+def _urlsafe_b64(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-capable wheel archive with automatic RECORD generation."""
+
+    def __init__(self, file, mode="r",
+                 compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(str(file))
+        match = _DIST_INFO_RE.match(basename)
+        if not match:
+            raise ValueError(f"bad wheel filename {basename!r}")
+        self.parsed_filename = match
+        self.dist_info_path = (f"{match.group('namever')}.dist-info")
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._record_entries = {}
+        super().__init__(file, mode=mode, compression=compression,
+                         allowZip64=True)
+
+    # -- writing ----------------------------------------------------------
+
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        name = arcname if arcname is not None else filename
+        name = str(name).replace(os.sep, "/")
+        mode = os.stat(filename).st_mode
+        info = zipfile.ZipInfo(name)
+        info.external_attr = (mode & 0xFFFF) << 16
+        if stat.S_ISDIR(mode):
+            info.external_attr |= 0x10
+        self.writestr(info, data, compress_type)
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir``, RECORD last."""
+        deferred = []
+        for root, dirnames, filenames in os.walk(base_dir):
+            dirnames.sort()
+            for name in sorted(filenames):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname == self.record_path:
+                    deferred.append((path, arcname))
+                else:
+                    self.write(path, arcname)
+        for path, arcname in deferred:
+            self.write(path, arcname)
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, compress_type)
+        name = (zinfo_or_arcname.filename
+                if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+                else str(zinfo_or_arcname))
+        if name != self.record_path:
+            digest = hashlib.sha256(data).digest()
+            self._record_entries[name] = (
+                f"sha256={_urlsafe_b64(digest)}", len(data))
+
+    def close(self):
+        if self.mode == "w" and self._record_entries is not None:
+            lines = [f"{name},{hash_},{size}"
+                     for name, (hash_, size)
+                     in sorted(self._record_entries.items())]
+            lines.append(f"{self.record_path},,")
+            payload = "\n".join(lines) + "\n"
+            entries = self._record_entries
+            self._record_entries = None
+            super().writestr(self.record_path, payload.encode("utf-8"))
+            self._record_entries = entries
+        super().close()
