@@ -1,6 +1,5 @@
 """Benchmark: Fig. 13 — mean per-node SNR vs simultaneous node count."""
 
-import numpy as np
 
 from repro.experiments import fig13_multinode
 from conftest import record

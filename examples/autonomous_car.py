@@ -25,7 +25,7 @@ import numpy as np
 from repro import MultiNodeNetwork, TimeModulatedArray
 from repro.antenna.phased_array import PhasedArray
 from repro.hardware.chains import NodeHardware
-from repro.network.fdm import FdmAllocator, SpectrumExhausted
+from repro.network.fdm import FdmAllocator
 from repro.sim.environment import Room
 from repro.sim.geometry import Point, angle_of
 from repro.sim.placement import Placement

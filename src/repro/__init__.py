@@ -32,6 +32,8 @@ Layout
 ``repro.network``   FDM, TMA-based SDM, interference, multi-node sims
 ``repro.baselines`` beam-search baselines and Table 1 platforms
 ``repro.sim``       rooms, blockers, mobility, placements, Monte Carlo
+``repro.faults``    seeded fault-injection processes and schedules
+``repro.resilience`` link health monitoring and the recovery ladder
 ``repro.experiments`` one module per paper table/figure
 """
 
@@ -65,6 +67,20 @@ from .baselines import (
     comparison_table,
 )
 from .phy import default_preamble_bits, random_bits
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    LinkDisturbance,
+    scenario_injector,
+)
+from .resilience import (
+    ChaosResult,
+    ChaosSimulation,
+    LinkHealthMonitor,
+    LinkHealthReport,
+    LinkSupervisor,
+)
 from .sim import (
     Blocker,
     MonteCarloRunner,

@@ -9,7 +9,7 @@ beam — it quantifies what the second beam buys.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..antenna.orthogonal import measured_mmx_beams
 from ..channel.multipath import beam_channel_gain

@@ -20,7 +20,7 @@ extension benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..constants import ISM_24GHZ_BANDWIDTH_HZ
 from ..network.fdm import FdmAllocator, SpectrumExhausted

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..constants import SPEED_OF_LIGHT
 from ..units import wavelength
 
 __all__ = [

@@ -15,7 +15,7 @@ dB below the reflected one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..sim.environment import Room, Wall
 from ..sim.geometry import (

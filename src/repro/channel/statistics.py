@@ -15,7 +15,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..sim.geometry import normalize_angle
 from .pathloss import free_space_path_loss_db
 from .raytrace import PropagationPath, trace_paths
 

@@ -6,6 +6,7 @@ Commands
 ``link``                   analytic link report for one placement
 ``network --nodes N``      one multi-node snapshot
 ``characterize``           channel statistics for the default lab
+``chaos --scenario NAME``  fault-injection run: recovery ladder vs static
 ``list``                   available experiment names
 """
 
@@ -44,15 +45,25 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("characterize", help="channel statistics")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a named fault-injection scenario")
+    chaos.add_argument("--scenario", default="kitchen-sink",
+                       help="fault scenario name, or 'all' for the sweep")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed (faults + recovery jitter)")
+    chaos.add_argument("--duration", type=float, default=30.0,
+                       help="simulated seconds")
+
     sub.add_parser("list", help="list experiment names")
     return parser
 
 
 def _cmd_reproduce(names: list[str]) -> int:
-    from .experiments import (ablations, extensions, fig06_tma, fig07_vco,
-                              fig08_patterns, fig09_waveforms, fig10_snr_map,
-                              fig11_ber_cdf, fig12_range, fig13_multinode,
-                              table1)
+    from .experiments import (ablations, chaos, extensions, fig06_tma,
+                              fig07_vco, fig08_patterns, fig09_waveforms,
+                              fig10_snr_map, fig11_ber_cdf, fig12_range,
+                              fig13_multinode, table1)
 
     registry = {
         "fig06": lambda: fig06_tma.render(fig06_tma.run()),
@@ -78,6 +89,7 @@ def _cmd_reproduce(names: list[str]) -> int:
             extensions.render_channel_stats(extensions.run_channel_stats()),
             extensions.render_streaming(extensions.run_streaming()),
         ]),
+        "chaos": lambda: chaos.render_all(chaos.run_all()),
     }
     chosen = names or list(registry)
     unknown = [n for n in chosen if n not in registry]
@@ -159,6 +171,24 @@ def _cmd_characterize() -> int:
     return 0
 
 
+def _cmd_chaos(scenario: str, seed: int, duration: float) -> int:
+    from .experiments import chaos
+    from .faults import SCENARIOS
+
+    if scenario == "all":
+        print(chaos.render_all(chaos.run_all(seed=seed,
+                                             duration_s=duration)))
+        return 0
+    if scenario not in SCENARIOS:
+        print(f"unknown scenario {scenario!r}; choose from "
+              f"{', '.join(sorted(SCENARIOS))} or 'all'",
+              file=sys.stderr)
+        return 2
+    print(chaos.render(chaos.run(scenario, seed=seed,
+                                 duration_s=duration)))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -170,8 +200,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_network(args.nodes, args.seed)
     if args.command == "characterize":
         return _cmd_characterize()
+    if args.command == "chaos":
+        return _cmd_chaos(args.scenario, args.seed, args.duration)
     if args.command == "list":
         print("fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 "
-              "table1 ablations extensions")
+              "table1 ablations extensions chaos")
         return 0
     raise AssertionError("unreachable")

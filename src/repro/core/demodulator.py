@@ -29,7 +29,6 @@ from ..phy.preamble import default_preamble_bits, locate_preamble
 from ..phy.snr import estimate_snr_two_level
 from ..phy.timing import align_to_bits
 from ..phy.waveform import Waveform
-from ..units import linear_to_db
 from .ask_fsk import AskFskConfig
 
 __all__ = ["DemodResult", "JointDemodulator"]
@@ -67,11 +66,17 @@ class JointDemodulator:
     """Decodes OTAM captures; one instance per configured link."""
 
     def __init__(self, config: AskFskConfig, preamble=None,
-                 preamble_threshold: float = 0.6):
+                 preamble_threshold: float = 0.6,
+                 health_monitor=None):
         self.config = config
         self.preamble = (default_preamble_bits() if preamble is None
                          else np.asarray(preamble, dtype=np.uint8))
         self.preamble_threshold = preamble_threshold
+        self.health_monitor = health_monitor
+        """Optional :class:`repro.resilience.LinkHealthMonitor`; when
+        attached, every capture's decision SNR is folded into the link's
+        health estimate (``observe_demod``) as a side effect of
+        :meth:`demodulate`."""
 
     # --- per-branch soft demodulation -----------------------------------
 
@@ -152,20 +157,26 @@ class JointDemodulator:
                 ask_bits = (1 - ask_bits).astype(np.uint8)
 
         if ask_bits.size == 0 and fsk_bits.size == 0:
-            return DemodResult(bits=np.zeros(0, dtype=np.uint8), branch="none",
-                               ask_snr_db=ask_snr, fsk_snr_db=fsk_snr,
-                               inverted=False, preamble_found=False)
-
-        # If the ASK branch found no preamble its polarity is a guess; a
-        # clean FSK branch is then preferable even at comparable SNR.
-        ask_effective = ask_snr if preamble_found else ask_snr - 6.0
-        if ask_effective >= fsk_snr:
-            branch, bits = "ask", ask_bits
+            result = DemodResult(bits=np.zeros(0, dtype=np.uint8),
+                                 branch="none",
+                                 ask_snr_db=ask_snr, fsk_snr_db=fsk_snr,
+                                 inverted=False, preamble_found=False)
         else:
-            branch, bits = "fsk", fsk_bits
-        return DemodResult(bits=bits, branch=branch, ask_snr_db=ask_snr,
-                           fsk_snr_db=fsk_snr, inverted=inverted,
-                           preamble_found=preamble_found)
+            # If the ASK branch found no preamble its polarity is a
+            # guess; a clean FSK branch is then preferable even at
+            # comparable SNR.
+            ask_effective = ask_snr if preamble_found else ask_snr - 6.0
+            if ask_effective >= fsk_snr:
+                branch, bits = "ask", ask_bits
+            else:
+                branch, bits = "fsk", fsk_bits
+            result = DemodResult(bits=bits, branch=branch,
+                                 ask_snr_db=ask_snr, fsk_snr_db=fsk_snr,
+                                 inverted=inverted,
+                                 preamble_found=preamble_found)
+        if self.health_monitor is not None:
+            self.health_monitor.observe_demod(result)
+        return result
 
     # --- helpers ------------------------------------------------------------
 

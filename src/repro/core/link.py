@@ -36,14 +36,13 @@ from ..constants import (
 )
 from ..hardware.chains import AccessPointHardware
 from ..phy import ber as ber_theory
-from ..phy.bits import bit_error_rate
 from ..phy.waveform import Waveform
 from ..sim.placement import Placement
 from .ask_fsk import AskFskConfig
 from .demodulator import DemodResult, JointDemodulator
 from .otam import OtamModulator
 
-__all__ = ["SnrBreakdown", "LinkReport", "OtamLink"]
+__all__ = ["SnrBreakdown", "LinkReport", "OtamLink", "perturb_breakdown"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +103,100 @@ class SnrBreakdown:
     def ber_without_otam(self) -> float:
         """Predicted BER of the Beam-1-only OOK baseline (same table)."""
         return float(ber_theory.ber_ask_table(self.no_otam_snr_db))
+
+
+def _amplitude(level_dbm: float) -> float:
+    """Field amplitude in sqrt(mW) units for a dBm level (0 for -inf)."""
+    if level_dbm == float("-inf"):
+        return 0.0
+    return 10.0 ** (level_dbm / 20.0)
+
+
+def _level(amplitude: float) -> float:
+    """Inverse of :func:`_amplitude`."""
+    if amplitude <= 0.0:
+        return float("-inf")
+    return 20.0 * math.log10(amplitude)
+
+
+def _fsk_drift_penalty_db(offset_hz: float, config: AskFskConfig) -> float:
+    """Goertzel integration loss when the VCO drifts off its tones.
+
+    The AP projects each bit period onto fixed bins at the two
+    configured tone frequencies.  A carrier offset of ``f`` detunes
+    both tones equally; coherent integration over one bit period then
+    captures ``|sinc(f * T_bit)|`` of the tone amplitude.  At an offset
+    of one tone separation the transmitted tones land on each other's
+    bins and the branch is unusable — returned as ``inf``.
+    """
+    offset = abs(offset_hz)
+    if offset >= config.tone_separation_hz:
+        return float("inf")
+    x = offset / config.bit_rate_bps
+    attenuation = abs(np.sinc(x))
+    if attenuation <= 1e-9:
+        return float("inf")
+    return -20.0 * math.log10(attenuation)
+
+
+def perturb_breakdown(breakdown: SnrBreakdown,
+                      disturbance,
+                      config: AskFskConfig) -> SnrBreakdown:
+    """Apply a :class:`repro.faults.LinkDisturbance` to a clean breakdown.
+
+    This is the analytic fault model the chaos experiments run on: it
+    recomputes every decision SNR from the *perturbed* per-beam received
+    levels, so the joint ASK-FSK structure responds to each fault class
+    the way the hardware would —
+
+    * blockage subtracts per-beam excess loss (the LoS beam pays more
+      than the NLoS beam, so the ASK contrast can shrink or invert);
+    * a stuck SPDT radiates every symbol through the welded port,
+      collapsing the ASK contrast to zero while FSK survives;
+    * VCO drift detunes the Goertzel bins, degrading only the FSK
+      branch (:func:`_fsk_drift_penalty_db`);
+    * in-band interference raises the effective noise floor, so every
+      reported SNR is really an SINR and ``noise_dbm`` is what the AP
+      *measures* (the resilience layer keys interferer detection off
+      that jump);
+    * a node power dropout silences everything.
+
+    The ASK level distance uses the amplitude difference of the two
+    perturbed levels (phases are unknowable once faults perturb the
+    traced channel); the fault-free path through
+    :meth:`OtamLink.snr_breakdown` is untouched.
+    """
+    if disturbance.node_down:
+        ninf = float("-inf")
+        return SnrBreakdown(
+            beam1_level_dbm=ninf, beam0_level_dbm=ninf,
+            noise_dbm=breakdown.noise_dbm, ask_snr_db=ninf,
+            fsk_snr_db=ninf, no_otam_snr_db=ninf, inverted=False)
+    level1 = breakdown.beam1_level_dbm - disturbance.beam1_extra_loss_db
+    level0 = breakdown.beam0_level_dbm - disturbance.beam0_extra_loss_db
+    if disturbance.stuck_beam == 1:
+        level0 = level1
+    elif disturbance.stuck_beam == 0:
+        level1 = level0
+    noise_lin = 10.0 ** (breakdown.noise_dbm / 10.0)
+    if disturbance.has_interference:
+        noise_lin += 10.0 ** (disturbance.interference_dbm / 10.0)
+    noise_dbm = 10.0 * math.log10(noise_lin)
+    a1, a0 = _amplitude(level1), _amplitude(level0)
+    ask_snr = _level(abs(a1 - a0)) - noise_dbm
+    fsk_level = _level(math.sqrt((a1 * a1 + a0 * a0) / 2.0))
+    penalty = _fsk_drift_penalty_db(disturbance.vco_offset_hz, config)
+    fsk_snr = float("-inf") if math.isinf(penalty) \
+        else fsk_level - penalty - noise_dbm
+    return SnrBreakdown(
+        beam1_level_dbm=level1,
+        beam0_level_dbm=level0,
+        noise_dbm=noise_dbm,
+        ask_snr_db=ask_snr,
+        fsk_snr_db=fsk_snr,
+        no_otam_snr_db=level1 - noise_dbm,
+        inverted=a0 > a1,
+    )
 
 
 @dataclass(frozen=True)
@@ -168,12 +261,17 @@ class OtamLink:
 
     def snr_breakdown(self, channel: ChannelResponse | None = None,
                       bandwidth_hz: float = EVAL_NODE_CHANNEL_BANDWIDTH_HZ,
-                      ) -> SnrBreakdown:
+                      disturbance=None) -> SnrBreakdown:
         """Closed-form link quality for this placement.
 
         ``bandwidth_hz`` defaults to the 25 MHz per-node channel of the
         multi-node experiment (section 9.5) so SNR numbers sit on the
         paper's Fig. 10/12 scales.
+
+        ``disturbance`` optionally applies an active
+        :class:`repro.faults.LinkDisturbance` (see
+        :func:`perturb_breakdown`); ``None`` or a clear disturbance
+        leaves the fault-free computation bit-identical to the seed.
         """
         ch = channel or self.channel_response()
         noise = noise_power_dbm(bandwidth_hz,
@@ -184,7 +282,7 @@ class OtamLink:
         joint_gain = math.sqrt((abs(ch.h1) ** 2 + abs(ch.h0) ** 2) / 2.0)
         fsk_snr = self._level_dbm(joint_gain) - noise
         no_otam = level1 - noise
-        return SnrBreakdown(
+        breakdown = SnrBreakdown(
             beam1_level_dbm=level1,
             beam0_level_dbm=level0,
             noise_dbm=noise,
@@ -193,6 +291,10 @@ class OtamLink:
             no_otam_snr_db=no_otam,
             inverted=ch.inverted,
         )
+        if disturbance is not None and not disturbance.is_clear:
+            breakdown = perturb_breakdown(breakdown, disturbance,
+                                          self.config)
+        return breakdown
 
     # --- sample-level view ------------------------------------------------------
 

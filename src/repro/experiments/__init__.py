@@ -20,11 +20,13 @@ table1    Platform comparison (Table 1)
 ablations Orthogonality / joint-modulation / beam-search / oracle
 extensions Mobility, SDM scheduling, 60 GHz, channel self-check,
           MAC streaming, spectrum-strain motivation
+chaos     Fault injection vs the resilience recovery ladder
 ========  ===========================================================
 """
 
 from . import (
     ablations,
+    chaos,
     extensions,
     fig06_tma,
     fig07_vco,
@@ -39,6 +41,7 @@ from . import (
 
 __all__ = [
     "ablations",
+    "chaos",
     "extensions",
     "fig06_tma",
     "fig07_vco",

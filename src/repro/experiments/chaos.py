@@ -1,0 +1,143 @@
+"""Chaos-engineering experiment: fault injection vs the recovery ladder.
+
+Not a paper figure — a robustness extension: §9.3/§9.4 show mmX
+surviving *one* fault at a time (a blocker, an off-axis placement);
+this experiment injects the full fault taxonomy of
+:mod:`repro.faults` on a schedule and measures whether the
+:class:`repro.resilience.LinkSupervisor` actually recovers, against a
+frozen static baseline under bit-identical faults.
+
+``run`` executes one named scenario; ``run_all`` sweeps every scenario
+registered in :data:`repro.faults.SCENARIOS` from one master seed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from ..faults import scenario_injector
+from ..resilience import ChaosResult, ChaosSimulation
+
+__all__ = ["ChaosRunResult", "run", "run_all", "render", "render_all"]
+
+DEFAULT_DISTANCE_M = 4.0
+"""Node-AP distance for the chaos placement: mid-room, facing, well
+inside Fig. 12's working range — faults, not geometry, set the SNR."""
+
+
+@dataclass(frozen=True)
+class ChaosRunResult:
+    """One scenario's adaptive-vs-static outcome plus headline numbers."""
+
+    scenario: str
+    seed: int
+    duration_s: float
+    result: ChaosResult
+
+    @property
+    def delivery_gain(self) -> float:
+        """Adaptive minus static delivery ratio."""
+        return self.result.delivery_gain
+
+    @property
+    def recovered(self) -> bool:
+        """Whether adaptive SNR returned to baseline after the faults."""
+        return self.result.recovered()
+
+    def action_counts(self) -> dict[str, int]:
+        """How many times each recovery-ladder rung fired."""
+        return dict(Counter(a.policy for a in self.result.actions))
+
+
+def _facing_link(distance_m: float):
+    """A facing node at ``distance_m`` in the default lab room."""
+    from ..core.link import OtamLink
+    from ..sim.environment import default_lab_room
+    from ..sim.geometry import Point, angle_of
+    from ..sim.placement import Placement
+
+    room = default_lab_room()
+    ap = Point(room.width_m / 2.0, 0.15)
+    node = Point(room.width_m / 2.0, 0.15 + distance_m)
+    if not room.contains(node, margin=0.1):
+        raise ValueError("distance does not fit in the lab room")
+    placement = Placement(node, angle_of(node, ap), ap, math.pi / 2)
+    return OtamLink(placement=placement, room=room)
+
+
+def run(scenario: str = "kitchen-sink", seed: int = 0,
+        duration_s: float = 30.0, quiet_tail_s: float = 3.0,
+        distance_m: float = DEFAULT_DISTANCE_M,
+        time_step_s: float = 0.1) -> ChaosRunResult:
+    """One chaos run: a named fault scenario against both policies.
+
+    Everything — the fault schedule, the supervisor's backoff jitter —
+    derives from ``seed``, so the whole result regenerates
+    bit-identically.  ``quiet_tail_s`` keeps the end of the run
+    fault-free so post-fault recovery is measurable.
+    """
+    injector = scenario_injector(scenario, master_seed=seed)
+    sim = ChaosSimulation(_facing_link(distance_m), injector,
+                          time_step_s=time_step_s)
+    result = sim.run(duration_s, quiet_tail_s=quiet_tail_s)
+    return ChaosRunResult(scenario=scenario, seed=seed,
+                          duration_s=duration_s, result=result)
+
+
+def run_all(seed: int = 0, duration_s: float = 30.0,
+            quiet_tail_s: float = 3.0,
+            distance_m: float = DEFAULT_DISTANCE_M) -> list[ChaosRunResult]:
+    """Every registered scenario from one master seed."""
+    from ..faults import SCENARIOS
+
+    return [run(name, seed=seed, duration_s=duration_s,
+                quiet_tail_s=quiet_tail_s, distance_m=distance_m)
+            for name in sorted(SCENARIOS)]
+
+
+def render(outcome: ChaosRunResult) -> str:
+    """Detailed text report for one scenario."""
+    r = outcome.result
+    lines = [
+        f"chaos scenario '{outcome.scenario}' "
+        f"(seed {outcome.seed}, {outcome.duration_s:.0f} s, "
+        f"faults: {', '.join(r.schedule.kinds()) or 'none'})",
+        f"  delivery ratio : adaptive {r.adaptive_delivery_ratio:.3f}  "
+        f"static {r.static_delivery_ratio:.3f}  "
+        f"gain {r.delivery_gain:+.3f}",
+        f"  availability   : adaptive {r.adaptive_report.availability:.3f}  "
+        f"static {r.static_report.availability:.3f}",
+        f"  MTTR           : adaptive {r.adaptive_report.mttr_s:.2f} s  "
+        f"static {r.static_report.mttr_s:.2f} s",
+        f"  clean SNR      : {r.clean_snr_db:.1f} dB; post-fault "
+        f"{r.post_fault_snr_db():.1f} dB "
+        f"(recovered: {r.recovered()})",
+    ]
+    counts = outcome.action_counts()
+    if counts:
+        summary = ", ".join(f"{name} x{count}"
+                            for name, count in sorted(counts.items()))
+        lines.append(f"  recovery log   : {summary}")
+    else:
+        lines.append("  recovery log   : (no action needed)")
+    return "\n".join(lines)
+
+
+def render_all(outcomes: list[ChaosRunResult]) -> str:
+    """Summary table across scenarios."""
+    header = (f"{'scenario':<14} {'adaptive':>8} {'static':>8} "
+              f"{'gain':>7} {'avail':>6} {'mttr_s':>7} {'recovered':>9}")
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        r = outcome.result
+        lines.append(
+            f"{outcome.scenario:<14} "
+            f"{r.adaptive_delivery_ratio:>8.3f} "
+            f"{r.static_delivery_ratio:>8.3f} "
+            f"{r.delivery_gain:>+7.3f} "
+            f"{r.adaptive_report.availability:>6.3f} "
+            f"{r.adaptive_report.mttr_s:>7.2f} "
+            f"{str(outcome.recovered):>9}")
+    return "\n".join(lines)

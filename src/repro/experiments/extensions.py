@@ -26,7 +26,6 @@ import numpy as np
 
 from ..baselines.spectrum import (
     MmxCapacityModel,
-    WifiChannelModel,
     iot_device_capacity,
 )
 from ..channel.pathloss import free_space_path_loss_db, oxygen_absorption_db

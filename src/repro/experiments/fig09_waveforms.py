@@ -22,7 +22,6 @@ from ..core.otam import OtamModulator
 from ..phy.preamble import default_preamble_bits
 from ..phy.waveform import Waveform
 from ..phy.bits import random_bits
-from ..channel.noise import complex_awgn, noise_power_dbm
 from ..sim.environment import default_lab_room
 from ..sim.mobility import los_blocker_between
 from ..sim.placement import PlacementSampler

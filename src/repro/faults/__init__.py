@@ -1,0 +1,30 @@
+"""Composable fault injection driven by the simulation timeline.
+
+The seed repo evaluates only frozen placements; this package makes the
+environment hostile on purpose.  Fault *processes* (blocker crossings,
+VCO thermal drift, a welded SPDT, power brown-outs, side-channel
+outages, in-band ISM interferers) emit :class:`FaultEvent` schedules; a
+seeded :class:`FaultInjector` composes them reproducibly; and the
+resulting per-instant :class:`LinkDisturbance` perturbs the analytic
+link state wherever the stack evaluates it (``OtamLink.snr_breakdown``,
+``TimelineSimulator``, the chaos experiment).
+"""
+
+from .events import FAULT_KINDS, NO_DISTURBANCE, FaultEvent, LinkDisturbance
+from .injector import (
+    SCENARIOS,
+    FaultInjector,
+    FaultSchedule,
+    scenario_injector,
+)
+from .processes import (
+    InterfererProcess,
+    NodeDropoutProcess,
+    PersistentBlockerProcess,
+    SideChannelOutageProcess,
+    StuckBeamProcess,
+    TransientBlockerProcess,
+    VcoDriftProcess,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

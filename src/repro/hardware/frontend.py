@@ -13,7 +13,6 @@ import numpy as np
 
 from ..constants import (
     AP_FILTER_INSERTION_LOSS_DB,
-    AP_IF_FREQUENCY_HZ,
     AP_LNA_GAIN_DB,
     AP_LNA_NOISE_FIGURE_DB,
     AP_LO_FREQUENCY_HZ,

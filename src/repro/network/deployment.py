@@ -19,7 +19,6 @@ negligible next to the noise floor.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

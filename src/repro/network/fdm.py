@@ -72,6 +72,7 @@ class FdmAllocator:
         self.guard_fraction = guard_fraction
         self.min_channel_hz = min_channel_hz
         self._plans: dict[int, ChannelPlan] = {}
+        self._blocked: list[tuple[float, float]] = []
 
     @property
     def total_bandwidth_hz(self) -> float:
@@ -90,6 +91,23 @@ class FdmAllocator:
             raise ValueError("demanded rate must be positive")
         return max(self.min_channel_hz, rate_bps * self.bandwidth_per_bps)
 
+    def _place(self, node_id: int, width: float) -> ChannelPlan:
+        """First-fit a channel of ``width`` into the free, unblocked band."""
+        pitch = width * (1.0 + self.guard_fraction)
+        occupied = sorted(
+            [(p.low_hz, p.high_hz) for p in self._plans.values()]
+            + list(self._blocked))
+        cursor = self.band_low_hz
+        for low, high in occupied:
+            if cursor + pitch <= low:
+                break
+            cursor = max(cursor, high + width * self.guard_fraction)
+        if cursor + width > self.band_high_hz:
+            raise SpectrumExhausted(
+                f"no room for a {width/1e6:.1f} MHz channel")
+        return ChannelPlan(node_id=node_id, center_hz=cursor + width / 2.0,
+                           bandwidth_hz=width)
+
     def allocate(self, node_id: int, demanded_rate_bps: float) -> ChannelPlan:
         """Assign the lowest free channel that fits the demand.
 
@@ -99,18 +117,47 @@ class FdmAllocator:
         if node_id in self._plans:
             raise ValueError(f"node {node_id} already holds a channel")
         width = self.channel_bandwidth_for_rate(demanded_rate_bps)
-        pitch = width * (1.0 + self.guard_fraction)
-        occupied = sorted((p.low_hz, p.high_hz) for p in self._plans.values())
-        cursor = self.band_low_hz
-        for low, high in occupied:
-            if cursor + pitch <= low:
-                break
-            cursor = max(cursor, high + width * self.guard_fraction)
-        if cursor + width > self.band_high_hz:
-            raise SpectrumExhausted(
-                f"no room for a {width/1e6:.1f} MHz channel")
-        plan = ChannelPlan(node_id=node_id, center_hz=cursor + width / 2.0,
-                           bandwidth_hz=width)
+        plan = self._place(node_id, width)
+        self._plans[node_id] = plan
+        return plan
+
+    # --- interference avoidance ------------------------------------------
+
+    def block_range(self, low_hz: float, high_hz: float) -> None:
+        """Mark a spectrum range as unusable (a detected interferer).
+
+        Blocked ranges are skipped by :meth:`allocate` and
+        :meth:`reallocate`; existing allocations are not evicted — move
+        a hit node explicitly with :meth:`reallocate`.
+        """
+        if high_hz <= low_hz:
+            raise ValueError("invalid blocked range")
+        self._blocked.append((float(low_hz), float(high_hz)))
+
+    def clear_blocks(self) -> None:
+        """Forget all blocked ranges (the interferer went away)."""
+        self._blocked = []
+
+    @property
+    def blocked_ranges(self) -> tuple[tuple[float, float], ...]:
+        """Currently blocked spectrum ranges, sorted."""
+        return tuple(sorted(self._blocked))
+
+    def reallocate(self, node_id: int) -> ChannelPlan:
+        """Move a node to fresh spectrum, preserving its bandwidth.
+
+        Intended to follow :meth:`block_range` once an interferer is
+        localised: first-fit then lands the node on the lowest clean
+        slot.  On :class:`SpectrumExhausted` the old plan is restored —
+        a failed move must not strand the node without any channel.
+        """
+        old = self.plan_for(node_id)
+        del self._plans[node_id]
+        try:
+            plan = self._place(node_id, old.bandwidth_hz)
+        except SpectrumExhausted:
+            self._plans[node_id] = old
+            raise
         self._plans[node_id] = plan
         return plan
 

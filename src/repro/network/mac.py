@@ -22,7 +22,7 @@ integration would be judged on.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -111,6 +111,12 @@ class UplinkStats:
     offered_packets: int
     delivered_packets: int
     dropped_packets: int
+    """Packets lost outright: queue tail-drops plus ARQ exhaustion."""
+
+    expired_packets: int
+    """Packets that missed the deadline: still queued when the window
+    closed, or whose (successful) transmission finished after it."""
+
     retransmissions: int
     mean_latency_s: float
     p99_latency_s: float
@@ -163,6 +169,7 @@ class UplinkSimulator:
             raise ValueError("durations must be positive")
         offered = 0
         delivered = 0
+        arq_lost = 0
         retransmissions = 0
         latencies: list[float] = []
         goodput_bits = 0
@@ -196,16 +203,22 @@ class UplinkSimulator:
                     break
             retransmissions += attempts - 1
             clock = start
-            if success and clock <= duration_s:
+            if not success:
+                arq_lost += 1
+            elif clock <= duration_s:
                 delivered += 1
                 goodput_bits += size * 8
                 latencies.append(clock - arrival)
-        total_dropped = self.queue.dropped + (offered - delivered
-                                              - self.queue.dropped)
+        # Every offered packet lands in exactly one bucket: delivered,
+        # dropped (tail-drop or ARQ exhaustion), or expired (missed the
+        # deadline — still queued, or completed after the window).
+        dropped = self.queue.dropped + arq_lost
+        expired = offered - delivered - dropped
         return UplinkStats(
             offered_packets=offered,
             delivered_packets=delivered,
-            dropped_packets=max(total_dropped, 0),
+            dropped_packets=dropped,
+            expired_packets=expired,
             retransmissions=retransmissions,
             mean_latency_s=(float(np.mean(latencies)) if latencies else 0.0),
             p99_latency_s=(float(np.percentile(latencies, 99))

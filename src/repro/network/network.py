@@ -11,7 +11,7 @@ from the other transmitters is what bends the curve down as N grows.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,7 +19,6 @@ from ..constants import (
     EVAL_NODE_CHANNEL_BANDWIDTH_HZ,
     ISM_24GHZ_BANDWIDTH_HZ,
 )
-from ..core.ask_fsk import AskFskConfig
 from ..core.link import OtamLink
 from ..sim.placement import Placement, PlacementSampler
 from ..units import db_to_linear, linear_to_db
@@ -158,7 +157,9 @@ class MultiNodeNetwork:
     def evaluate(self, num_nodes: int,
                  placements: list[Placement] | None = None,
                  measurement_bandwidth_hz: float = 2.5e6,
-                 scheduler=None) -> NetworkSnapshot:
+                 scheduler=None,
+                 external_interferers: dict[int, float] | None = None
+                 ) -> NetworkSnapshot:
         """One simultaneous-transmission snapshot for N nodes.
 
         ``measurement_bandwidth_hz`` is the per-node post-channelisation
@@ -171,6 +172,13 @@ class MultiNodeNetwork:
         ``scheduler`` optionally overrides the default direction-aware
         channel assignment with any policy exposing
         ``assign(placements) -> list[int]``.
+
+        ``external_interferers`` maps FDM channel index to the received
+        power (dBm, at the AP) of a non-mmX in-band emitter parked on
+        that channel — e.g. a WiFi/ISM device.  It raises the
+        interference floor of every node sharing the channel, which is
+        exactly the signature :class:`repro.resilience.LinkSupervisor`
+        detects and escapes via channel re-allocation.
         """
         if num_nodes < 1:
             raise ValueError("need at least one node")
@@ -202,6 +210,10 @@ class MultiNodeNetwork:
         for i in range(num_nodes):
             victim_noise_dbm = breakdowns[i].noise_dbm
             interference_lin = 0.0
+            if external_interferers:
+                jammer_dbm = external_interferers.get(channels[i])
+                if jammer_dbm is not None:
+                    interference_lin += float(db_to_linear(jammer_dbm))
             for j in range(num_nodes):
                 if j == i:
                     continue

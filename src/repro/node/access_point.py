@@ -9,9 +9,8 @@ joint ASK-FSK decoder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..antenna.element import DipoleElement
 from ..core.ask_fsk import AskFskConfig
@@ -89,6 +88,44 @@ class MmxAccessPoint:
     def registered_nodes(self) -> list[int]:
         """IDs of all admitted nodes."""
         return sorted(self._registrations)
+
+    # --- resilience hooks ------------------------------------------------------
+
+    def mark_interference(self, low_hz: float, high_hz: float) -> list[int]:
+        """Record an in-band interferer; returns the node IDs it hits.
+
+        The spectrum range is blocked in the allocator so future
+        allocations avoid it; nodes whose channels overlap it are
+        returned so the caller (typically a
+        :class:`repro.resilience.LinkSupervisor`) can decide to
+        :meth:`reallocate_node` them.
+        """
+        self.allocator.block_range(low_hz, high_hz)
+        probe = ChannelPlan(node_id=-1, center_hz=(low_hz + high_hz) / 2.0,
+                            bandwidth_hz=high_hz - low_hz)
+        return sorted(reg.node_id for reg in self._registrations.values()
+                      if reg.channel.overlaps(probe))
+
+    def reallocate_node(self, node_id: int) -> NodeRegistration:
+        """Move a node's FDM channel away from blocked spectrum.
+
+        Preserves the node's bandwidth and demodulator (including any
+        attached health monitor); only the channel plan changes.
+        """
+        reg = self.registration(node_id)
+        channel = self.allocator.reallocate(node_id)
+        updated = NodeRegistration(node_id=node_id, channel=channel,
+                                   config=reg.config)
+        self._registrations[node_id] = updated
+        return updated
+
+    def attach_health_monitor(self, node_id: int, monitor) -> None:
+        """Attach a :class:`repro.resilience.LinkHealthMonitor` to one
+        node's demodulator, so every capture feeds its health estimate."""
+        demod = self._demodulators.get(node_id)
+        if demod is None:
+            raise KeyError(f"node {node_id} is not registered")
+        demod.health_monitor = monitor
 
     # --- transmission phase -------------------------------------------------------
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..antenna.orthogonal import OrthogonalBeamPair, design_mmx_beams
 from ..channel.multipath import ChannelResponse

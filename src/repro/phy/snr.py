@@ -8,7 +8,7 @@ figure (Friis' formula) and the thermal floor in the occupied bandwidth;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

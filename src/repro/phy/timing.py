@@ -9,9 +9,8 @@ Two estimators are provided:
 
 * :func:`estimate_timing_offset` — transition-energy search: OTAM's
   envelope (and tone) switches exactly at bit edges, so the sample
-  offset whose block boundaries maximise inter-block contrast while
-  minimising intra-block variance is the bit phase.  Works blind, no
-  preamble needed.
+  offset whose block boundaries minimise intra-block variance is the
+  bit phase.  Works blind, no preamble needed.
 * :func:`align_to_bits` — convenience wrapper returning a trimmed,
   aligned waveform.
 """
@@ -29,10 +28,16 @@ def timing_metric(envelope: np.ndarray, samples_per_bit: int,
                   offset: int) -> float:
     """Alignment score for one candidate offset (higher is better).
 
-    Score = variance of per-block means (bit-to-bit contrast) minus the
-    mean of within-block variances (smearing across a boundary).  When
-    blocks straddle bit edges the within-block variance absorbs the
-    level transitions and the score drops.
+    Score = negative mean within-block variance.  OTAM's envelope is
+    constant within a bit and switches only at bit edges, so at the true
+    offset every block is internally flat (score 0, minus noise) while
+    any misaligned block straddling a level transition absorbs it as
+    within-block variance and scores strictly lower.
+
+    (An earlier version added the variance of per-block means as a
+    "contrast" reward, but that term can *prefer* misalignment: a block
+    averaging across a transition lands between the two level clusters
+    and can spread the block means more than the smearing penalty costs.)
     """
     if samples_per_bit < 2:
         raise ValueError("need at least 2 samples per bit")
@@ -43,9 +48,7 @@ def timing_metric(envelope: np.ndarray, samples_per_bit: int,
     if blocks.size == 0:
         return float("-inf")
     shaped = blocks.reshape(-1, samples_per_bit)
-    between = float(np.var(shaped.mean(axis=1)))
-    within = float(np.mean(shaped.var(axis=1)))
-    return between - within
+    return -float(np.mean(shaped.var(axis=1)))
 
 
 def estimate_timing_offset(wave: Waveform, samples_per_bit: int) -> int:

@@ -1,0 +1,24 @@
+"""Self-healing link management for a feedback-free air interface.
+
+All intelligence is AP-side (the node stays dumb — that is mmX's whole
+design): :class:`LinkHealthMonitor` EWMAs the demodulator's decision
+SNR into a hysteretic healthy/degraded/outage state,
+:class:`LinkSupervisor` applies an escalating recovery ladder (branch
+fallback, coding/rate step-down, backed-off side-channel re-init, FDM
+channel re-allocation), and :class:`ChaosSimulation` measures what that
+buys — availability, MTTR, delivery ratio — against a frozen baseline
+under identical fault schedules.
+"""
+
+from .chaos import ChaosResult, ChaosSimulation
+from .health import (
+    DEGRADED,
+    HEALTHY,
+    OUTAGE,
+    EwmaEstimator,
+    LinkHealthMonitor,
+    LinkHealthReport,
+)
+from .supervisor import LinkSupervisor, RecoveryAction, SupervisorDecision
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -5,11 +5,10 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.ask_fsk import AskFskConfig
 from repro.core.link import OtamLink
 from repro.phy.bits import random_bits
 from repro.phy.preamble import default_preamble_bits
-from repro.sim.environment import Blocker, default_lab_room
+from repro.sim.environment import Blocker
 from repro.sim.geometry import Point
 from repro.sim.placement import Placement, PlacementSampler
 

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.constants import (
-    ISM_24GHZ_HIGH_HZ,
-    ISM_24GHZ_LOW_HZ,
     NODE_ENERGY_PER_BIT_J,
     NODE_POWER_W,
 )

@@ -2,9 +2,6 @@
 
 import math
 
-import numpy as np
-import pytest
-
 from repro.core.ask_fsk import AskFskConfig
 from repro.core.link import OtamLink
 from repro.core.packet import Packet, PacketCodec

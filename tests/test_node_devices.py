@@ -1,13 +1,11 @@
 """Tests for the device layer: controller, MmxNode, MmxAccessPoint."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.channel.multipath import ChannelResponse
 from repro.core.ask_fsk import AskFskConfig
-from repro.core.packet import PacketCodec
 from repro.node.access_point import MmxAccessPoint
 from repro.node.controller import DigitalController
 from repro.node.node import MmxNode

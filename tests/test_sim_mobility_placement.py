@@ -2,10 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.sim.environment import Room, default_lab_room
+from repro.sim.environment import Room
 from repro.sim.geometry import Point, Segment
 from repro.sim.mobility import (
     LinearCrossing,
@@ -13,7 +12,6 @@ from repro.sim.mobility import (
     WalkingBlocker,
     los_blocker_between,
 )
-from repro.sim.placement import PlacementSampler
 from repro.sim.runner import MonteCarloRunner
 
 

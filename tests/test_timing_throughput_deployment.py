@@ -1,6 +1,5 @@
 """Tests for timing recovery, link adaptation, and deployment planning."""
 
-import math
 
 import numpy as np
 import pytest
