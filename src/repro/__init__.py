@@ -34,6 +34,8 @@ Layout
 ``repro.sim``       rooms, blockers, mobility, placements, Monte Carlo
 ``repro.faults``    seeded fault-injection processes and schedules
 ``repro.resilience`` link health monitoring and the recovery ladder
+``repro.transport`` reliable transport: ARQ, adaptive RTO, circuit breaker
+``repro.cluster``   AP checkpointing, heartbeats, multi-AP failover
 ``repro.experiments`` one module per paper table/figure
 """
 
@@ -80,6 +82,18 @@ from .resilience import (
     LinkHealthMonitor,
     LinkHealthReport,
     LinkSupervisor,
+)
+from .transport import (
+    AdaptiveRetransmission,
+    CircuitBreaker,
+    ReliableLink,
+    RtoEstimator,
+)
+from .cluster import (
+    ApCheckpoint,
+    Cluster,
+    FailoverSimulation,
+    HeartbeatMonitor,
 )
 from .sim import (
     Blocker,

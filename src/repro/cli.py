@@ -7,6 +7,7 @@ Commands
 ``network --nodes N``      one multi-node snapshot
 ``characterize``           channel statistics for the default lab
 ``chaos --scenario NAME``  fault-injection run: recovery ladder vs static
+``chaos --ap-crash``       multi-AP failover vs a frozen single AP
 ``list``                   available experiment names
 """
 
@@ -54,6 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="master seed (faults + recovery jitter)")
     chaos.add_argument("--duration", type=float, default=30.0,
                        help="simulated seconds")
+    chaos.add_argument("--ap-crash", action="store_true",
+                       help="run the multi-AP failover comparison "
+                            "(cluster vs frozen single AP) instead of "
+                            "a link-fault scenario")
 
     sub.add_parser("list", help="list experiment names")
     return parser
@@ -171,10 +176,15 @@ def _cmd_characterize() -> int:
     return 0
 
 
-def _cmd_chaos(scenario: str, seed: int, duration: float) -> int:
+def _cmd_chaos(scenario: str, seed: int, duration: float,
+               ap_crash: bool = False) -> int:
     from .experiments import chaos
     from .faults import SCENARIOS
 
+    if ap_crash:
+        print(chaos.render_failover(chaos.run_failover(
+            seed=seed, duration_s=duration)))
+        return 0
     if scenario == "all":
         print(chaos.render_all(chaos.run_all(seed=seed,
                                              duration_s=duration)))
@@ -201,7 +211,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "characterize":
         return _cmd_characterize()
     if args.command == "chaos":
-        return _cmd_chaos(args.scenario, args.seed, args.duration)
+        return _cmd_chaos(args.scenario, args.seed, args.duration,
+                          args.ap_crash)
     if args.command == "list":
         print("fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 "
               "table1 ablations extensions chaos")

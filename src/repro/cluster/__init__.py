@@ -1,0 +1,38 @@
+"""Control-plane resilience for multi-AP mmX deployments.
+
+Three pieces, layered bottom-up:
+
+* :mod:`~repro.cluster.checkpoint` — versioned, integrity-hashed
+  snapshots of one AP's control-plane state (FDM map, registrations,
+  TMA slots) that restore bit-for-bit;
+* :mod:`~repro.cluster.heartbeat` — deterministic simulated-time
+  failure detection with an explicit detection-latency window;
+* :mod:`~repro.cluster.failover` — the :class:`Cluster` coordinator
+  (crash → detect → re-associate → checkpointed recovery) and the
+  :class:`FailoverSimulation` that scores it against a frozen
+  single-AP baseline.
+"""
+
+from .checkpoint import (  # noqa: F401
+    CHECKPOINT_SCHEMA_VERSION,
+    ApCheckpoint,
+    CheckpointError,
+)
+from .failover import (  # noqa: F401
+    ApMember,
+    Cluster,
+    FailoverResult,
+    FailoverSimulation,
+)
+from .heartbeat import HeartbeatMonitor  # noqa: F401
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "ApCheckpoint",
+    "CheckpointError",
+    "ApMember",
+    "Cluster",
+    "FailoverResult",
+    "FailoverSimulation",
+    "HeartbeatMonitor",
+]

@@ -1,0 +1,213 @@
+"""Crash-safe AP state: versioned, integrity-hashed checkpoints.
+
+Every piece of mmX control-plane state lives in AP memory — node
+registrations, the FDM spectrum map (including interference blocks),
+and the TMA harmonic assignments.  A crash loses all of it and strands
+every registered node (they are feedback-free; they keep transmitting
+into a void).  :class:`ApCheckpoint` makes that state durable:
+
+* ``capture`` walks a :class:`repro.node.access_point.MmxAccessPoint`
+  into a plain dataclass-of-primitives;
+* ``to_dict`` / ``from_dict`` round-trip it through JSON-safe dicts
+  with a ``schema_version`` and a SHA-256 ``integrity`` hash over the
+  canonical serialisation, so a truncated or tampered checkpoint is
+  rejected instead of restored;
+* ``restore`` rebuilds an AP whose allocator plans, blocked ranges,
+  registrations and TMA slots are *identical* to the captured one —
+  the property the chaos-failover gate asserts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from ..core.ask_fsk import AskFskConfig
+from ..network.fdm import ChannelPlan, FdmAllocator
+
+__all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointError", "ApCheckpoint"]
+
+CHECKPOINT_SCHEMA_VERSION = 1
+"""Bump on any change to the checkpoint layout; ``from_dict`` refuses
+newer (unknown) schemas rather than misreading them."""
+
+
+class CheckpointError(Exception):
+    """Raised when a checkpoint is unreadable, tampered, or too new."""
+
+
+def _digest(state: dict) -> str:
+    """SHA-256 over the canonical (sorted-keys) JSON serialisation."""
+    blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ApCheckpoint:
+    """One AP's complete control-plane state, as plain primitives."""
+
+    schema_version: int
+    band: dict
+    """Allocator sizing parameters (band edges, overhead, guard)."""
+
+    plans: tuple
+    """Every FDM allocation: (node_id, center_hz, bandwidth_hz)."""
+
+    blocked: tuple
+    """Interference-blocked spectrum ranges: (low_hz, high_hz)."""
+
+    registrations: tuple
+    """Per-node admission state: id, rate numerology, channel."""
+
+    tma_assignments: tuple
+    """SDM bookkeeping: (node_id, harmonic_index) pairs."""
+
+    reallocation_failures: int
+    """Carried through restore so stats survive the crash too."""
+
+    # --- capture ----------------------------------------------------------
+
+    @classmethod
+    def capture(cls, access_point) -> "ApCheckpoint":
+        """Snapshot a live :class:`MmxAccessPoint`."""
+        alloc = access_point.allocator
+        plans = tuple(sorted(
+            (p.node_id, p.center_hz, p.bandwidth_hz)
+            for p in alloc.plans))
+        registrations = tuple(sorted(
+            (reg.node_id,
+             reg.channel.center_hz, reg.channel.bandwidth_hz,
+             reg.config.bit_rate_bps, reg.config.sample_rate_hz,
+             reg.config.fsk_deviation_hz)
+            for reg in (access_point.registration(n)
+                        for n in access_point.registered_nodes)))
+        return cls(
+            schema_version=CHECKPOINT_SCHEMA_VERSION,
+            band={
+                "band_low_hz": alloc.band_low_hz,
+                "band_high_hz": alloc.band_high_hz,
+                "bandwidth_per_bps": alloc.bandwidth_per_bps,
+                "guard_fraction": alloc.guard_fraction,
+                "min_channel_hz": alloc.min_channel_hz,
+            },
+            plans=plans,
+            blocked=tuple(alloc.blocked_ranges),
+            registrations=registrations,
+            tma_assignments=tuple(sorted(
+                access_point.tma_assignments.items())),
+            reallocation_failures=access_point.reallocation_failures,
+        )
+
+    # --- serialisation ----------------------------------------------------
+
+    def _state_dict(self) -> dict:
+        state = asdict(self)
+        # JSON has no tuples; normalise to lists so the canonical form
+        # (and therefore the digest) is encoding-independent.
+        return json.loads(json.dumps(state))
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-safe dict with an integrity hash."""
+        state = self._state_dict()
+        state["integrity"] = _digest(state)
+        return state
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string (the on-disk checkpoint format)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ApCheckpoint":
+        """Deserialise, verifying schema version and integrity hash."""
+        if not isinstance(data, dict):
+            raise CheckpointError("checkpoint must be a dict")
+        state = dict(data)
+        stored = state.pop("integrity", None)
+        if stored is None:
+            raise CheckpointError("checkpoint carries no integrity hash")
+        if _digest(state) != stored:
+            raise CheckpointError("checkpoint integrity hash mismatch")
+        version = state.get("schema_version")
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint schema {version!r} "
+                f"(this build reads {CHECKPOINT_SCHEMA_VERSION})")
+        try:
+            return cls(
+                schema_version=version,
+                band=dict(state["band"]),
+                plans=tuple(tuple(p) for p in state["plans"]),
+                blocked=tuple(tuple(b) for b in state["blocked"]),
+                registrations=tuple(tuple(r)
+                                    for r in state["registrations"]),
+                tma_assignments=tuple(tuple(t)
+                                      for t in state["tma_assignments"]),
+                reallocation_failures=int(state["reallocation_failures"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "ApCheckpoint":
+        """Deserialise from the JSON string format."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint is not JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        """Write the checkpoint to a file (atomic enough for a sim)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "ApCheckpoint":
+        """Read and verify a checkpoint file."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    # --- restore ----------------------------------------------------------
+
+    def restore(self, hardware=None, antenna=None, codec=None):
+        """Rebuild an AP with exactly this control-plane state.
+
+        The returned :class:`MmxAccessPoint` reproduces the captured
+        spectrum map (plans land via
+        :meth:`FdmAllocator.restore_plan`, not a fresh first-fit — so
+        allocation order cannot shift channels), registrations,
+        demodulators, TMA slots, and stats counters.
+        """
+        from ..node.access_point import MmxAccessPoint
+
+        band = self.band
+        allocator = FdmAllocator(
+            band_low_hz=band["band_low_hz"],
+            band_high_hz=band["band_high_hz"],
+            bandwidth_per_bps=band["bandwidth_per_bps"],
+            guard_fraction=band["guard_fraction"],
+            min_channel_hz=band["min_channel_hz"])
+        for low_hz, high_hz in self.blocked:
+            allocator.block_range(low_hz, high_hz)
+        for node_id, center_hz, bandwidth_hz in self.plans:
+            allocator.restore_plan(ChannelPlan(
+                node_id=int(node_id), center_hz=center_hz,
+                bandwidth_hz=bandwidth_hz))
+        ap = MmxAccessPoint(hardware=hardware, antenna=antenna,
+                            allocator=allocator, codec=codec)
+        for (node_id, center_hz, bandwidth_hz,
+             bit_rate_bps, sample_rate_hz, fsk_deviation_hz) in \
+                self.registrations:
+            config = AskFskConfig(bit_rate_bps=bit_rate_bps,
+                                  sample_rate_hz=sample_rate_hz,
+                                  fsk_deviation_hz=fsk_deviation_hz)
+            ap.adopt_registration(int(node_id),
+                                  ChannelPlan(node_id=int(node_id),
+                                              center_hz=center_hz,
+                                              bandwidth_hz=bandwidth_hz),
+                                  config)
+        for node_id, harmonic in self.tma_assignments:
+            ap.assign_tma_slot(int(node_id), int(harmonic))
+        ap.reallocation_failures = self.reallocation_failures
+        return ap

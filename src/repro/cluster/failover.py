@@ -1,0 +1,378 @@
+"""Multi-AP failover: heartbeat detection, re-association, recovery.
+
+Section 1 pitches mmX deployments with many APs covering a large space
+(malls, libraries, parks).  One AP crashing must not silence its nodes
+for the rest of the run — yet that is exactly what the seed repository
+(and the frozen baseline here) does, because all control-plane state
+lives in the dead AP's memory and nodes are feedback-free.
+
+:class:`Cluster` coordinates a set of live
+:class:`~repro.node.access_point.MmxAccessPoint` instances:
+
+* every alive AP beats into a :class:`~repro.cluster.heartbeat.
+  HeartbeatMonitor`; a crash is *detected*, not announced, so nodes
+  stay stranded for up to ``detection_latency_s``;
+* on detection, each stranded node re-associates to the best surviving
+  AP in its preference order (descending link quality), falling down
+  the list when an allocator is full and landing in ``orphaned`` only
+  when every surviving AP is exhausted;
+* alive APs checkpoint on a cadence
+  (:class:`~repro.cluster.checkpoint.ApCheckpoint`), so a rebooted AP
+  restores its exact pre-crash spectrum map and re-adopts whichever of
+  its nodes did not migrate while it was down.
+
+:class:`FailoverSimulation` scores the whole story in expectation
+(deterministically — per-step frame-survival probabilities, the same
+accounting style as :class:`repro.resilience.chaos.ChaosSimulation`)
+against a frozen single-AP baseline under an ``ap_crash`` fault
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.fdm import SpectrumExhausted
+from ..node.access_point import MmxAccessPoint
+from .checkpoint import ApCheckpoint
+from .heartbeat import HeartbeatMonitor
+
+__all__ = ["ApMember", "Cluster", "FailoverResult", "FailoverSimulation"]
+
+
+@dataclass
+class ApMember:
+    """One AP's slot in a cluster: the device, liveness, last checkpoint."""
+
+    ap_id: int
+    ap: MmxAccessPoint
+    alive: bool = True
+    checkpoint: ApCheckpoint | None = None
+
+
+class Cluster:
+    """A set of APs sharing responsibility for one node population."""
+
+    def __init__(self, aps, heartbeat: HeartbeatMonitor | None = None):
+        if not aps:
+            raise ValueError("a cluster needs at least one AP")
+        self.members: dict[int, ApMember] = {
+            i: ApMember(ap_id=i, ap=ap) for i, ap in enumerate(aps)}
+        self.monitor = heartbeat or HeartbeatMonitor()
+        for ap_id in self.members:
+            self.monitor.watch(ap_id, 0.0)
+        self.serving: dict[int, int] = {}
+        self.orphaned: set[int] = set()
+        self.failover_count = 0
+        self._preferences: dict[int, tuple[int, ...]] = {}
+        self._rates: dict[int, float] = {}
+
+    # --- membership -------------------------------------------------------
+
+    def alive_ap_ids(self) -> list[int]:
+        """IDs of every AP currently up (sorted)."""
+        return sorted(i for i, m in self.members.items() if m.alive)
+
+    def serving_ap(self, node_id: int) -> int | None:
+        """The AP currently holding a node's registration (None if the
+        node is orphaned)."""
+        if node_id in self.orphaned:
+            return None
+        return self.serving.get(node_id)
+
+    def is_served(self, node_id: int) -> bool:
+        """Whether a node's serving AP is up *right now*.
+
+        False both for orphans and for nodes stranded on a crashed AP
+        whose death the heartbeat has not yet declared — the stranded
+        window is real downtime and is scored as such.
+        """
+        ap_id = self.serving_ap(node_id)
+        return ap_id is not None and self.members[ap_id].alive
+
+    def register_node(self, node_id: int, demanded_rate_bps: float,
+                      preference=None) -> int:
+        """Admit a node on the best AP in its preference order.
+
+        ``preference`` ranks AP ids best-first (defaults to id order);
+        it is remembered so failover re-runs the same ranking against
+        the surviving set.  Raises :class:`SpectrumExhausted` if no
+        alive AP can fit the demand.
+        """
+        if node_id in self.serving or node_id in self.orphaned:
+            raise ValueError(f"node {node_id} is already in the cluster")
+        if preference is None:
+            preference = sorted(self.members)
+        preference = tuple(int(p) for p in preference)
+        for ap_id in preference:
+            member = self.members.get(ap_id)
+            if member is None or not member.alive:
+                continue
+            try:
+                member.ap.register_node(node_id, demanded_rate_bps)
+            except SpectrumExhausted:
+                continue
+            self.serving[node_id] = ap_id
+            self._preferences[node_id] = preference
+            self._rates[node_id] = float(demanded_rate_bps)
+            return ap_id
+        raise SpectrumExhausted(
+            f"no alive AP can admit node {node_id}")
+
+    # --- checkpointing ----------------------------------------------------
+
+    def checkpoint_all(self) -> dict[int, ApCheckpoint]:
+        """Snapshot every alive AP (dead ones keep their last capture)."""
+        out = {}
+        for member in self.members.values():
+            if member.alive:
+                member.checkpoint = ApCheckpoint.capture(member.ap)
+            if member.checkpoint is not None:
+                out[member.ap_id] = member.checkpoint
+        return out
+
+    # --- failure and recovery ---------------------------------------------
+
+    def crash(self, ap_id: int) -> None:
+        """Kill an AP (it silently stops beating; detection comes later)."""
+        member = self.members[ap_id]
+        member.alive = False
+
+    def step(self, now_s: float) -> dict[int, list[int]]:
+        """One heartbeat round: alive APs beat, deaths trigger failover.
+
+        Returns ``{dead_ap_id: [migrated node ids]}`` for every death
+        declared this step.
+        """
+        for member in self.members.values():
+            if member.alive:
+                self.monitor.beat(member.ap_id, now_s)
+        migrations = {}
+        for ap_id in self.monitor.newly_dead(now_s):
+            migrations[ap_id] = self.fail_over(ap_id)
+        return migrations
+
+    def fail_over(self, dead_ap_id: int) -> list[int]:
+        """Re-associate every node stranded on a dead AP.
+
+        Each node walks its preference order over the *surviving* APs;
+        a full allocator means falling to the next choice, and a node
+        no survivor can fit lands in ``orphaned`` (still remembered, so
+        recovery can re-adopt it).  Returns the migrated node ids.
+        """
+        stranded = sorted(n for n, a in self.serving.items()
+                          if a == dead_ap_id)
+        migrated = []
+        for node_id in stranded:
+            new_ap = None
+            for ap_id in self._preferences[node_id]:
+                member = self.members.get(ap_id)
+                if member is None or not member.alive:
+                    continue
+                try:
+                    member.ap.register_node(node_id, self._rates[node_id])
+                except SpectrumExhausted:
+                    continue
+                new_ap = ap_id
+                break
+            if new_ap is None:
+                del self.serving[node_id]
+                self.orphaned.add(node_id)
+            else:
+                self.serving[node_id] = new_ap
+                self.failover_count += 1
+                migrated.append(node_id)
+        return migrated
+
+    def recover(self, ap_id: int, now_s: float) -> MmxAccessPoint:
+        """Reboot a crashed AP from its last checkpoint.
+
+        The restored AP reproduces its pre-crash spectrum map exactly;
+        nodes that migrated to a survivor while it was down are then
+        released from the restored copy (they live elsewhere now), and
+        checkpointed nodes currently orphaned are re-adopted.  An AP
+        that never checkpointed reboots empty — every registration it
+        held is simply gone, which is the whole argument for the
+        checkpoint cadence.
+        """
+        member = self.members[ap_id]
+        if member.alive:
+            raise ValueError(f"AP {ap_id} is not down")
+        if member.checkpoint is not None:
+            member.ap = member.checkpoint.restore()
+        else:
+            member.ap = MmxAccessPoint()
+        for node_id in list(member.ap.registered_nodes):
+            if self.serving.get(node_id) == ap_id:
+                continue          # never migrated; still ours
+            if node_id in self.orphaned:
+                self.orphaned.discard(node_id)
+                self.serving[node_id] = ap_id
+            else:
+                member.ap.deregister_node(node_id)
+        member.alive = True
+        self.monitor.beat(ap_id, now_s)
+        return member.ap
+
+    def stats(self) -> dict:
+        """Cluster-level health counters."""
+        return {
+            "aps": len(self.members),
+            "alive_aps": len(self.alive_ap_ids()),
+            "served_nodes": sum(self.is_served(n) for n in self.serving),
+            "orphaned_nodes": len(self.orphaned),
+            "failovers": self.failover_count,
+        }
+
+
+@dataclass(frozen=True)
+class FailoverResult:
+    """Outcome of one adaptive-vs-frozen failover comparison."""
+
+    times_s: np.ndarray
+    adaptive_success: np.ndarray
+    """Per-step mean expected frame survival across nodes (cluster)."""
+
+    static_success: np.ndarray
+    """Same, for the frozen single-AP baseline."""
+
+    detection_latency_s: float
+    failover_count: int
+    orphaned_nodes: int
+
+    @property
+    def adaptive_delivery_ratio(self) -> float:
+        """Expected delivered fraction over the whole run (cluster)."""
+        return float(np.mean(self.adaptive_success))
+
+    @property
+    def static_delivery_ratio(self) -> float:
+        """Expected delivered fraction for the frozen baseline."""
+        return float(np.mean(self.static_success))
+
+    @property
+    def gain(self) -> float:
+        """How much delivery the failover machinery buys."""
+        return self.adaptive_delivery_ratio - self.static_delivery_ratio
+
+
+class FailoverSimulation:
+    """Scores a cluster against a frozen single-AP under AP crashes.
+
+    Both policies see the same crash schedule and the same per-(node,
+    AP) frame-survival probabilities from
+    :func:`repro.network.network.frame_success_matrix`, so the
+    comparison is deterministic:
+
+    * **adaptive** — the full :class:`Cluster`: heartbeat detection,
+      failover to the best surviving AP, checkpointed recovery when the
+      crash window ends;
+    * **static** — every node on AP 0, no heartbeat, no checkpoint: the
+      first crash of AP 0 erases its control-plane state and, with no
+      recovery path, its nodes deliver nothing for the rest of the run
+      (the seed repository's behaviour).
+    """
+
+    def __init__(self, room, ap_positions, node_positions,
+                 demanded_rate_bps: float = 1e6,
+                 payload_bytes: int = 256,
+                 heartbeat: HeartbeatMonitor | None = None,
+                 checkpoint_interval_s: float = 1.0,
+                 link_kwargs: dict | None = None):
+        from ..network.network import frame_success_matrix
+
+        if checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.ap_positions = list(ap_positions)
+        self.node_positions = list(node_positions)
+        self.demanded_rate_bps = float(demanded_rate_bps)
+        self.heartbeat = heartbeat or HeartbeatMonitor(interval_s=0.5,
+                                                       miss_threshold=3)
+        self.checkpoint_interval_s = float(checkpoint_interval_s)
+        self.success = frame_success_matrix(
+            room, self.ap_positions, self.node_positions,
+            payload_bytes=payload_bytes, link_kwargs=link_kwargs)
+
+    def _crash_windows(self, schedule) -> list:
+        """Extract (start_s, end_s, ap_index) from ``ap_crash`` events."""
+        windows = []
+        for event in schedule.events:
+            if event.kind != "ap_crash":
+                continue
+            ap_index = int(event.severity)
+            if 0 <= ap_index < len(self.ap_positions):
+                windows.append((event.start_s, event.end_s, ap_index))
+        return windows
+
+    def run(self, schedule, dt_s: float = 0.1) -> FailoverResult:
+        """Step both policies through the schedule in lock step."""
+        if dt_s <= 0:
+            raise ValueError("time step must be positive")
+        windows = self._crash_windows(schedule)
+
+        # A fresh monitor per run: the one configured on the simulation
+        # is a template (its parameters), not shared mutable state — a
+        # second run must not see the first run's beat history.
+        monitor = HeartbeatMonitor(
+            interval_s=self.heartbeat.interval_s,
+            miss_threshold=self.heartbeat.miss_threshold)
+        cluster = Cluster(
+            aps=[MmxAccessPoint() for _ in self.ap_positions],
+            heartbeat=monitor)
+        num_nodes = len(self.node_positions)
+        for i in range(num_nodes):
+            preference = [int(j) for j in np.argsort(-self.success[i])]
+            cluster.register_node(i, self.demanded_rate_bps, preference)
+        cluster.checkpoint_all()
+
+        static_ap = MmxAccessPoint()
+        for i in range(num_nodes):
+            static_ap.register_node(i, self.demanded_rate_bps)
+        static_state_lost = False
+
+        times = np.arange(0.0, schedule.duration_s, dt_s)
+        adaptive = np.zeros_like(times)
+        static = np.zeros_like(times)
+        next_checkpoint_s = self.checkpoint_interval_s
+
+        crash_targets = sorted({ap for _, _, ap in windows})
+        for k, t in enumerate(times):
+            # An AP is down while *any* of its crash windows is open
+            # (windows may overlap); it reboots once all have closed.
+            for ap_index in crash_targets:
+                down = any(start_s <= t < end_s
+                           for start_s, end_s, ap in windows
+                           if ap == ap_index)
+                member = cluster.members[ap_index]
+                if down and member.alive:
+                    cluster.crash(ap_index)
+                    if ap_index == 0:
+                        # The baseline AP reboots too when the window
+                        # ends, but without a checkpoint its state is
+                        # gone for good.
+                        static_state_lost = True
+                elif not down and not member.alive:
+                    cluster.recover(ap_index, t)
+
+            if t >= next_checkpoint_s:
+                cluster.checkpoint_all()
+                next_checkpoint_s += self.checkpoint_interval_s
+
+            cluster.step(t)
+
+            served = [self.success[i, cluster.serving_ap(i)]
+                      for i in range(num_nodes) if cluster.is_served(i)]
+            adaptive[k] = float(np.sum(served)) / num_nodes
+            if not static_state_lost:
+                static[k] = float(np.mean(self.success[:, 0]))
+
+        return FailoverResult(
+            times_s=times,
+            adaptive_success=adaptive,
+            static_success=static,
+            detection_latency_s=self.heartbeat.detection_latency_s,
+            failover_count=cluster.failover_count,
+            orphaned_nodes=len(cluster.orphaned),
+        )

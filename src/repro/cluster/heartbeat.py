@@ -1,0 +1,71 @@
+"""Heartbeat-based AP failure detection with explicit simulated time.
+
+Every AP in a cluster beats on a fixed interval over the backhaul /
+side-channel; the detector declares an AP dead after
+``miss_threshold`` consecutive intervals with no beat.  Detection is
+therefore *not* instant — a crashed AP strands its nodes for up to
+``detection_latency_s`` before failover can begin, which is exactly
+the window the chaos-failover experiment measures.
+
+Time is always passed in by the caller (the simulation clock), so the
+detector is deterministic and can never hang a test waiting on a wall
+clock.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HeartbeatMonitor"]
+
+
+class HeartbeatMonitor:
+    """Tracks last-heard times and declares silence after a threshold."""
+
+    def __init__(self, interval_s: float = 0.5, miss_threshold: int = 3):
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("need at least one missed beat to declare death")
+        self.interval_s = interval_s
+        self.miss_threshold = miss_threshold
+        self._last_beat_s: dict[int, float] = {}
+        self._declared_dead: set[int] = set()
+
+    @property
+    def detection_latency_s(self) -> float:
+        """Worst-case time from crash to a death declaration."""
+        return self.interval_s * self.miss_threshold
+
+    def watch(self, ap_id: int, now_s: float) -> None:
+        """Start tracking an AP (counts as an immediate beat)."""
+        self.beat(ap_id, now_s)
+
+    def beat(self, ap_id: int, now_s: float) -> None:
+        """Record one heartbeat; a beating AP is never dead."""
+        previous = self._last_beat_s.get(ap_id)
+        if previous is not None and now_s < previous:
+            raise ValueError("heartbeats must arrive in time order")
+        self._last_beat_s[ap_id] = float(now_s)
+        self._declared_dead.discard(ap_id)
+
+    def is_alive(self, ap_id: int, now_s: float) -> bool:
+        """Whether an AP's silence is still within the threshold."""
+        last = self._last_beat_s.get(ap_id)
+        if last is None:
+            raise KeyError(f"AP {ap_id} is not being watched")
+        return now_s - last < self.detection_latency_s
+
+    def newly_dead(self, now_s: float) -> list[int]:
+        """APs whose silence just crossed the threshold (each reported
+        once, until a fresh beat revives them)."""
+        dead = []
+        for ap_id in sorted(self._last_beat_s):
+            if ap_id in self._declared_dead:
+                continue
+            if not self.is_alive(ap_id, now_s):
+                self._declared_dead.add(ap_id)
+                dead.append(ap_id)
+        return dead
+
+    def watched(self) -> list[int]:
+        """Every AP currently being tracked (sorted)."""
+        return sorted(self._last_beat_s)

@@ -17,10 +17,12 @@ import math
 from collections import Counter
 from dataclasses import dataclass
 
+from ..cluster import FailoverResult
 from ..faults import scenario_injector
 from ..resilience import ChaosResult, ChaosSimulation
 
-__all__ = ["ChaosRunResult", "run", "run_all", "render", "render_all"]
+__all__ = ["ChaosRunResult", "FailoverRunResult", "run", "run_all",
+           "run_failover", "render", "render_all", "render_failover"]
 
 DEFAULT_DISTANCE_M = 4.0
 """Node-AP distance for the chaos placement: mid-room, facing, well
@@ -95,6 +97,80 @@ def run_all(seed: int = 0, duration_s: float = 30.0,
     return [run(name, seed=seed, duration_s=duration_s,
                 quiet_tail_s=quiet_tail_s, distance_m=distance_m)
             for name in sorted(SCENARIOS)]
+
+
+@dataclass(frozen=True)
+class FailoverRunResult:
+    """One AP-crash failover run plus the knobs that produced it."""
+
+    seed: int
+    duration_s: float
+    crash_start_s: float
+    crash_duration_s: float
+    ap_index: int
+    result: FailoverResult
+
+    @property
+    def delivery_gain(self) -> float:
+        """Adaptive cluster minus frozen single-AP delivery ratio."""
+        return self.result.gain
+
+
+def run_failover(seed: int = 0, duration_s: float = 30.0,
+                 crash_start_s: float = 8.0,
+                 crash_duration_s: float = 12.0,
+                 ap_index: int = 0,
+                 time_step_s: float = 0.1) -> FailoverRunResult:
+    """Crash one AP of a two-AP cluster and score the failover machinery.
+
+    A 20 x 10 m hall with an AP at each end and four nodes split
+    between them; the :class:`~repro.faults.ApCrashProcess` takes AP
+    ``ap_index`` down for ``crash_duration_s``.  The adaptive cluster
+    detects the death by heartbeat, fails the stranded nodes over to
+    the survivor, and restores the rebooted AP from its checkpoint; the
+    frozen baseline parks everyone on AP 0 and loses them (state and
+    all) the moment it dies — the seed repository's behaviour.
+    """
+    from ..cluster import FailoverSimulation, HeartbeatMonitor
+    from ..faults import ApCrashProcess, FaultInjector
+    from ..sim.environment import Room
+    from ..sim.geometry import Point
+
+    room = Room.rectangular(width_m=20.0, length_m=10.0)
+    ap_positions = [Point(2.0, 5.0), Point(18.0, 5.0)]
+    node_positions = [Point(4.0, 3.0), Point(6.0, 7.0),
+                      Point(14.0, 3.0), Point(16.0, 7.0)]
+    sim = FailoverSimulation(
+        room, ap_positions, node_positions, demanded_rate_bps=1e6,
+        heartbeat=HeartbeatMonitor(interval_s=0.5, miss_threshold=3))
+    injector = FaultInjector(
+        [ApCrashProcess(start_s=crash_start_s,
+                        duration_s=crash_duration_s,
+                        ap_index=ap_index)],
+        master_seed=seed)
+    result = sim.run(injector.schedule(duration_s), dt_s=time_step_s)
+    return FailoverRunResult(seed=seed, duration_s=duration_s,
+                             crash_start_s=crash_start_s,
+                             crash_duration_s=crash_duration_s,
+                             ap_index=ap_index, result=result)
+
+
+def render_failover(outcome: FailoverRunResult) -> str:
+    """Text report for one AP-crash failover run."""
+    r = outcome.result
+    return "\n".join([
+        f"ap-crash failover (seed {outcome.seed}, "
+        f"{outcome.duration_s:.0f} s, AP {outcome.ap_index} down "
+        f"{outcome.crash_start_s:.0f}-"
+        f"{outcome.crash_start_s + outcome.crash_duration_s:.0f} s)",
+        f"  delivery ratio : cluster {r.adaptive_delivery_ratio:.3f}  "
+        f"frozen single-AP {r.static_delivery_ratio:.3f}  "
+        f"gain {r.gain:+.3f}",
+        f"  detection      : {r.detection_latency_s:.1f} s heartbeat "
+        f"latency",
+        f"  failovers      : {r.failover_count} node(s) migrated, "
+        f"{r.orphaned_nodes} orphaned",
+    ])
 
 
 def render(outcome: ChaosRunResult) -> str:

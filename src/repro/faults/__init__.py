@@ -3,7 +3,8 @@
 The seed repo evaluates only frozen placements; this package makes the
 environment hostile on purpose.  Fault *processes* (blocker crossings,
 VCO thermal drift, a welded SPDT, power brown-outs, side-channel
-outages, in-band ISM interferers) emit :class:`FaultEvent` schedules; a
+outages, in-band ISM interferers, whole-AP crashes) emit
+:class:`FaultEvent` schedules; a
 seeded :class:`FaultInjector` composes them reproducibly; and the
 resulting per-instant :class:`LinkDisturbance` perturbs the analytic
 link state wherever the stack evaluates it (``OtamLink.snr_breakdown``,
@@ -18,6 +19,7 @@ from .injector import (
     scenario_injector,
 )
 from .processes import (
+    ApCrashProcess,
     InterfererProcess,
     NodeDropoutProcess,
     PersistentBlockerProcess,

@@ -34,6 +34,7 @@ FAULT_KINDS = (
     "dropout",
     "side_channel_outage",
     "interference",
+    "ap_crash",
 )
 """Every fault class the injector knows how to schedule.
 
@@ -51,6 +52,12 @@ side_channel_outage       The WiFi/BLE control link is down; no (re-)
 interference              An in-band ISM transmitter lands on one FDM
                           channel; severity is its received power [dBm] at
                           the AP, ``channel_index`` says which channel.
+ap_crash                  An entire access point goes down (power cut, kernel
+                          panic); severity is the integer index of the AP in
+                          its cluster.  Handled by the control plane
+                          (:mod:`repro.cluster`), not the link model —
+                          :meth:`FaultSchedule.disturbance_at` passes it
+                          through untouched in ``active_kinds``.
 ========================  ====================================================
 """
 
@@ -77,6 +84,9 @@ class FaultEvent:
             raise ValueError("stuck_beam severity is the beam index (0 or 1)")
         if self.kind == "interference" and self.channel_index is None:
             raise ValueError("interference events must name a channel")
+        if self.kind == "ap_crash" and (
+                self.severity < 0 or self.severity != int(self.severity)):
+            raise ValueError("ap_crash severity is a non-negative AP index")
 
     @property
     def end_s(self) -> float:

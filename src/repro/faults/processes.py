@@ -25,6 +25,7 @@ __all__ = [
     "NodeDropoutProcess",
     "SideChannelOutageProcess",
     "InterfererProcess",
+    "ApCrashProcess",
 ]
 
 
@@ -238,3 +239,35 @@ class InterfererProcess:
                            severity=self.power_dbm,
                            channel_index=self.channel_index,
                            label="in-band ISM interferer")]
+
+
+@dataclass(frozen=True)
+class ApCrashProcess:
+    """One access point goes down hard for a window.
+
+    A power cut or firmware panic takes the *whole* control plane with
+    it: every registration, the FDM spectrum map, the TMA assignments.
+    The node-side faults above degrade one link; this one strands every
+    node the AP serves — which is why it is handled by
+    :class:`repro.cluster.Cluster` (heartbeat detection + failover +
+    checkpointed reboot) rather than the link-level disturbance model.
+    """
+
+    start_s: float = 5.0
+    duration_s: float = 10.0
+    ap_index: int = 0
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.duration_s)
+        if self.ap_index < 0:
+            raise ValueError("AP index cannot be negative")
+
+    def events(self, rng: np.random.Generator,
+               duration_s: float) -> list[FaultEvent]:
+        """The single deterministic crash window (RNG unused)."""
+        if self.start_s >= duration_s:
+            return []
+        return [FaultEvent(kind="ap_crash", start_s=self.start_s,
+                           duration_s=self.duration_s,
+                           severity=float(self.ap_index),
+                           label=f"AP {self.ap_index} crash")]

@@ -28,7 +28,8 @@ from ..sim.environment import Room
 from ..sim.geometry import Point, angle_of, normalize_angle
 from ..sim.placement import Placement
 
-__all__ = ["NodeAssignment", "Deployment", "plan_access_points"]
+__all__ = ["NodeAssignment", "Deployment", "plan_access_points",
+           "snr_matrix"]
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,26 @@ class Deployment:
         for assignment in self.assign(node_positions):
             counts[assignment.ap_index] += 1
         return counts
+
+
+def snr_matrix(room: Room, ap_positions: list[Point],
+               node_positions: list[Point],
+               link_kwargs: dict | None = None) -> np.ndarray:
+    """Per-(node, AP) OTAM SNR table — the failover affinity map.
+
+    ``result[i, j]`` is node *i*'s SNR when aimed at AP *j*.  A cluster
+    uses each row (sorted descending) as that node's re-association
+    preference order: when its serving AP dies, the node fails over to
+    the best-SNR *surviving* AP, exactly the assignment rule
+    :meth:`Deployment.assign` applies at install time.
+    """
+    if not ap_positions or not node_positions:
+        raise ValueError("need at least one AP and one node position")
+    out = np.empty((len(node_positions), len(ap_positions)), dtype=float)
+    for i, node in enumerate(node_positions):
+        for j, ap in enumerate(ap_positions):
+            out[i, j] = _link_snr(node, ap, room, link_kwargs=link_kwargs)
+    return out
 
 
 def plan_access_points(room: Room, node_positions: list[Point],

@@ -161,6 +161,26 @@ class FdmAllocator:
         self._plans[node_id] = plan
         return plan
 
+    def restore_plan(self, plan: ChannelPlan) -> None:
+        """Re-install an exact channel plan (checkpoint restore path).
+
+        Unlike :meth:`allocate`, no placement search runs: the plan is
+        inserted verbatim so a restored AP reproduces its pre-crash
+        spectrum map bit-for-bit.  Rejects duplicates and overlaps with
+        existing plans — a corrupt checkpoint must not silently build
+        an inconsistent spectrum map.
+        """
+        if plan.node_id in self._plans:
+            raise ValueError(f"node {plan.node_id} already holds a channel")
+        if plan.low_hz < self.band_low_hz or plan.high_hz > self.band_high_hz:
+            raise ValueError("restored plan falls outside the managed band")
+        for other in self._plans.values():
+            if plan.overlaps(other):
+                raise ValueError(
+                    f"restored plan for node {plan.node_id} overlaps "
+                    f"node {other.node_id}")
+        self._plans[plan.node_id] = plan
+
     def release(self, node_id: int) -> None:
         """Return a node's channel to the pool."""
         if node_id not in self._plans:

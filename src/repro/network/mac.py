@@ -40,17 +40,24 @@ class PacketQueue:
             raise ValueError("queue needs capacity for at least one packet")
         self._items: deque[tuple[float, int]] = deque()
         self.dropped = 0
+        self.dropped_bytes = 0
         self.enqueued = 0
 
     def __len__(self) -> int:
         return len(self._items)
 
     def offer(self, arrival_s: float, size_bytes: int) -> bool:
-        """Enqueue; False (and a drop) when the buffer is full."""
+        """Enqueue; False (and a drop) when the buffer is full.
+
+        Rejected packets are counted in both ``dropped`` (packets) and
+        ``dropped_bytes`` — overload experiments need the byte total to
+        report goodput *loss*, not just a drop count.
+        """
         if size_bytes <= 0:
             raise ValueError("packet size must be positive")
         if len(self._items) >= self.capacity_packets:
             self.dropped += 1
+            self.dropped_bytes += size_bytes
             return False
         self._items.append((arrival_s, size_bytes))
         self.enqueued += 1
@@ -134,16 +141,26 @@ class UplinkSimulator:
     """Periodic source -> queue -> lossy link, with ARQ retransmission.
 
     ``frame_success_probability`` is the per-transmission survival
-    chance (from :mod:`repro.core.throughput` at the placement's SNR);
-    failed frames are retransmitted up to ``max_retries`` before being
-    counted lost.  Transmission time = frame bits / link rate.
+    chance (from :mod:`repro.core.throughput` at the placement's SNR).
+    Retransmission follows one of two disciplines:
+
+    * default — the seed behaviour: immediate retry, up to
+      ``max_retries``, then the packet is counted lost;
+    * ``transport=`` an :class:`repro.transport.AdaptiveRetransmission`
+      — each failed attempt waits out the policy's Jacobson RTO before
+      the retransmission (the loss has to be *detected*), successful
+      first attempts feed the estimator, and the attempt cap comes from
+      the policy.  This is the end-to-end reliable-transport path.
+
+    Transmission time = frame bits / link rate.
     """
 
     def __init__(self, link_rate_bps: float, frame_bits: int,
                  frame_success_probability: float,
                  queue: PacketQueue | None = None,
                  max_retries: int = 3,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 transport=None):
         if link_rate_bps <= 0 or frame_bits <= 0:
             raise ValueError("link rate and frame size must be positive")
         if not 0.0 <= frame_success_probability <= 1.0:
@@ -156,6 +173,7 @@ class UplinkSimulator:
         self.queue = queue or PacketQueue()
         self.max_retries = max_retries
         self.rng = rng or np.random.default_rng()
+        self.transport = transport
 
     @property
     def frame_airtime_s(self) -> float:
@@ -195,12 +213,23 @@ class UplinkSimulator:
             start = max(clock, arrival)
             attempts = 0
             success = False
-            while attempts <= self.max_retries:
-                attempts += 1
-                start += self.frame_airtime_s
-                if self.rng.random() < self.p_success:
-                    success = True
-                    break
+            if self.transport is not None:
+                cap = self.transport.max_transmissions
+                while attempts < cap:
+                    attempts += 1
+                    success = bool(self.rng.random() < self.p_success)
+                    start += self.transport.attempt_cost_s(
+                        self.frame_airtime_s, success,
+                        first_attempt=(attempts == 1))
+                    if success:
+                        break
+            else:
+                while attempts <= self.max_retries:
+                    attempts += 1
+                    start += self.frame_airtime_s
+                    if self.rng.random() < self.p_success:
+                        success = True
+                        break
             retransmissions += attempts - 1
             clock = start
             if not success:

@@ -25,7 +25,36 @@ from ..units import db_to_linear, linear_to_db
 from .interference import InterferenceModel
 from .tma import TimeModulatedArray
 
-__all__ = ["NodeStats", "NetworkSnapshot", "MultiNodeNetwork"]
+__all__ = ["NodeStats", "NetworkSnapshot", "MultiNodeNetwork",
+           "frame_success_matrix"]
+
+
+def frame_success_matrix(room, ap_positions, node_positions,
+                         payload_bytes: int = 256,
+                         link_kwargs: dict | None = None) -> np.ndarray:
+    """Per-(node, AP) frame-survival probabilities for a deployment.
+
+    Maps :func:`repro.network.deployment.snr_matrix` through the
+    BER -> frame-success chain of :mod:`repro.core.throughput` (uncoded
+    mode, best ASK-branch BER): ``result[i, j]`` is the chance one of
+    node *i*'s frames survives when served by AP *j*.  The failover
+    simulation uses it both to rank re-association targets and to score
+    delivery in expectation, keeping the adaptive-vs-static comparison
+    deterministic.
+    """
+    from ..core.throughput import CODING_MODES, frame_success_probability
+    from ..phy import ber as ber_theory
+    from .deployment import snr_matrix
+
+    snrs = snr_matrix(room, ap_positions, node_positions,
+                      link_kwargs=link_kwargs)
+    out = np.empty_like(snrs)
+    for i in range(snrs.shape[0]):
+        for j in range(snrs.shape[1]):
+            ber = float(ber_theory.ber_ask_table(snrs[i, j]))
+            out[i, j] = frame_success_probability(ber, payload_bytes,
+                                                  CODING_MODES[0])
+    return out
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,8 @@ class MmxAccessPoint:
         self.codec = codec or PacketCodec()
         self._registrations: dict[int, NodeRegistration] = {}
         self._demodulators: dict[int, JointDemodulator] = {}
+        self._tma_assignments: dict[int, int] = {}
+        self.reallocation_failures = 0
 
     # --- initialization phase --------------------------------------------------
 
@@ -69,12 +71,37 @@ class MmxAccessPoint:
         self._demodulators[node_id] = JointDemodulator(config)
         return registration
 
+    def adopt_registration(self, node_id: int, channel: ChannelPlan,
+                           config: AskFskConfig) -> NodeRegistration:
+        """Install a registration whose channel the allocator already holds.
+
+        The checkpoint-restore path: :meth:`register_node` would run a
+        fresh first-fit and could land the node on a *different*
+        channel; adoption re-attaches the exact pre-crash plan (which
+        must already be present via
+        :meth:`repro.network.fdm.FdmAllocator.restore_plan`).
+        """
+        if node_id in self._registrations:
+            raise ValueError(f"node {node_id} is already registered")
+        held = self.allocator.plan_for(node_id)
+        if (held.center_hz != channel.center_hz
+                or held.bandwidth_hz != channel.bandwidth_hz):
+            raise ValueError(
+                f"node {node_id}: adopted channel disagrees with the "
+                f"allocator's plan")
+        registration = NodeRegistration(node_id=node_id, channel=channel,
+                                        config=config)
+        self._registrations[node_id] = registration
+        self._demodulators[node_id] = JointDemodulator(config)
+        return registration
+
     def deregister_node(self, node_id: int) -> None:
-        """Release a node's channel."""
+        """Release a node's channel (and any TMA slot it held)."""
         reg = self._registrations.pop(node_id, None)
         if reg is None:
             raise KeyError(f"node {node_id} is not registered")
         self._demodulators.pop(node_id, None)
+        self._tma_assignments.pop(node_id, None)
         self.allocator.release(node_id)
 
     def registration(self, node_id: int) -> NodeRegistration:
@@ -106,18 +133,61 @@ class MmxAccessPoint:
         return sorted(reg.node_id for reg in self._registrations.values()
                       if reg.channel.overlaps(probe))
 
-    def reallocate_node(self, node_id: int) -> NodeRegistration:
+    def reallocate_node(self, node_id: int) -> NodeRegistration | None:
         """Move a node's FDM channel away from blocked spectrum.
 
         Preserves the node's bandwidth and demodulator (including any
         attached health monitor); only the channel plan changes.
+
+        Degrades gracefully when the allocator has no clean channel
+        left: the node keeps its old (interfered) registration, the
+        failure is counted in :attr:`reallocation_failures` (surfaced
+        by :meth:`stats`), and ``None`` is returned — a congested band
+        must never strand a node without *any* channel, nor crash the
+        supervisor that asked for the move.
         """
+        from ..network.fdm import SpectrumExhausted
+
         reg = self.registration(node_id)
-        channel = self.allocator.reallocate(node_id)
+        try:
+            channel = self.allocator.reallocate(node_id)
+        except SpectrumExhausted:
+            self.reallocation_failures += 1
+            return None
         updated = NodeRegistration(node_id=node_id, channel=channel,
                                    config=reg.config)
         self._registrations[node_id] = updated
         return updated
+
+    # --- SDM / TMA bookkeeping -------------------------------------------------
+
+    def assign_tma_slot(self, node_id: int, harmonic_index: int) -> None:
+        """Record which TMA harmonic a (SDM-sharing) node is hashed to.
+
+        The assignment is part of the AP's control-plane state — it
+        must survive a crash/restore cycle along with the FDM map, which
+        is why :mod:`repro.cluster.checkpoint` serialises it.
+        """
+        if node_id not in self._registrations:
+            raise KeyError(f"node {node_id} is not registered")
+        if harmonic_index < 0:
+            raise ValueError("harmonic index cannot be negative")
+        self._tma_assignments[node_id] = int(harmonic_index)
+
+    @property
+    def tma_assignments(self) -> dict[int, int]:
+        """Node -> TMA harmonic index for every SDM-sharing node."""
+        return dict(self._tma_assignments)
+
+    def stats(self) -> dict:
+        """Control-plane health counters for operators and chaos gates."""
+        return {
+            "registered_nodes": len(self._registrations),
+            "tma_assignments": len(self._tma_assignments),
+            "reallocation_failures": self.reallocation_failures,
+            "allocated_bandwidth_hz": self.allocator.allocated_bandwidth_hz,
+            "blocked_ranges": len(self.allocator.blocked_ranges),
+        }
 
     def attach_health_monitor(self, node_id: int, monitor) -> None:
         """Attach a :class:`repro.resilience.LinkHealthMonitor` to one

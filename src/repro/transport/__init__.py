@@ -1,0 +1,35 @@
+"""End-to-end reliable transport for mmX's control and data planes.
+
+The paper's air interface is deliberately feedback-free; everything
+*around* it still needs reliability: the WiFi/BLE side channel that
+carries channel assignments, the AP-to-AP backhaul a failover cluster
+uses, and the MAC's retransmission clock.  This package supplies the
+classic machinery, sized for simulation:
+
+* :mod:`~repro.transport.framing` — CRC-framed transport PDUs with
+  16-bit sequence numbers and a selective-ACK bitmap.
+* :mod:`~repro.transport.rto` — the Jacobson/Karn adaptive
+  retransmission-timeout estimator.
+* :mod:`~repro.transport.arq` — selective-repeat ARQ (sender,
+  receiver, and a seeded lossy-link simulator).
+* :mod:`~repro.transport.breaker` — a circuit breaker that stops a
+  flapping side channel from being hammered by re-init storms.
+* :mod:`~repro.transport.policy` — the adaptive retransmission policy
+  :class:`repro.network.mac.UplinkSimulator` uses in place of its old
+  fixed ``max_retries`` loop.
+"""
+
+from .arq import (
+    ReliableLink,
+    SegmentState,
+    SelectiveRepeatReceiver,
+    SelectiveRepeatSender,
+    TransferStats,
+)
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, CircuitOpenError
+from .framing import MAX_SEQ, MAX_WINDOW, FrameError, TransportFrame, \
+    seq_distance
+from .policy import AdaptiveRetransmission
+from .rto import RtoEstimator
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,101 @@
+"""A circuit breaker for the WiFi/BLE side channel.
+
+The init protocol already backs individual retries off exponentially,
+but a *flapping* side channel — up for one frame, down for ten — still
+gets hammered: every node re-entering initialization restarts its own
+backoff from the base delay.  The breaker adds the missing shared
+state: after ``failure_threshold`` consecutive control-frame failures
+the circuit *opens* and every caller fails fast (no radio time wasted)
+until ``reset_timeout_s`` of simulated time has passed; then one probe
+is let through (*half-open*), and only a success re-closes the circuit.
+
+Time is explicit (the caller passes ``now_s``) so the breaker composes
+with the repo's deterministic, simulated-clock discipline.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker", "CircuitOpenError",
+           "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(ConnectionError):
+    """Raised when a call is rejected because the circuit is open."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe state."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_timeout_s: float = 1.0):
+        if failure_threshold < 1:
+            raise ValueError("need at least one failure to trip")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_s: float | None = None
+        # Telemetry an operator (or a chaos gate) actually asks for.
+        self.trips = 0
+        self.rejected_calls = 0
+        self.successes = 0
+        self.failures = 0
+
+    def allow(self, now_s: float) -> bool:
+        """Whether a call may proceed at ``now_s``.
+
+        An open circuit transitions to half-open once the reset timeout
+        has elapsed, letting exactly one probe through; a rejected call
+        is counted.
+        """
+        if self.state == OPEN:
+            if now_s - self._opened_at_s >= self.reset_timeout_s:
+                self.state = HALF_OPEN
+                return True
+            self.rejected_calls += 1
+            return False
+        return True
+
+    def seconds_until_retry(self, now_s: float) -> float:
+        """How long until an open circuit will admit a probe (0 if now)."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self._opened_at_s + self.reset_timeout_s - now_s)
+
+    def record_success(self) -> None:
+        """A call completed: close the circuit and clear the streak."""
+        self.successes += 1
+        self._consecutive_failures = 0
+        self.state = CLOSED
+        self._opened_at_s = None
+
+    def record_failure(self, now_s: float) -> None:
+        """A call failed: trip the circuit at the threshold.
+
+        A failed half-open probe re-opens immediately — the channel has
+        not recovered, so the quiet period starts over.
+        """
+        self.failures += 1
+        self._consecutive_failures += 1
+        if (self.state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold):
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self._opened_at_s = now_s
+
+    def stats(self) -> dict:
+        """Counters for reporting: trips, rejections, successes, failures."""
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "rejected_calls": self.rejected_calls,
+            "successes": self.successes,
+            "failures": self.failures,
+        }

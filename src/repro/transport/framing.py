@@ -1,0 +1,128 @@
+"""CRC-framed transport PDUs with 16-bit sequence numbers.
+
+The PHY already frames bits (:mod:`repro.core.packet`: preamble +
+header + CRC over the air).  The *transport* needs its own framing one
+layer up: data segments and ACKs exchanged between a node's MAC and the
+AP's control plane, integrity-checked end to end so a corrupted segment
+is detected even when the PHY CRC happened to pass (or the segment
+crossed the WiFi/BLE side channel, which has no mmX PHY at all).
+
+Wire layout (big-endian)::
+
+    [ kind:     1 byte  ('D' data / 'A' ack)        ]
+    [ sequence: 2 bytes ]  data: segment seq; ack: cumulative ack
+    [ length:   2 bytes ]  payload byte count (data only, 0 for acks)
+    [ sack:     4 bytes ]  selective-ack bitmap (acks only, 0 for data)
+    [ payload:  length bytes ]
+    [ crc16:    2 bytes (CCITT, over everything above) ]
+
+The 32-bit SACK bitmap covers the 32 sequence numbers *after* the
+cumulative ack — bit ``i`` set means ``ack + 1 + i`` arrived out of
+order — which caps the usable selective-repeat window at
+:data:`MAX_WINDOW`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..phy.coding import crc16_ccitt
+
+__all__ = ["FrameError", "TransportFrame", "MAX_SEQ", "MAX_WINDOW",
+           "seq_distance"]
+
+MAX_SEQ = 1 << 16
+"""Sequence numbers live in [0, MAX_SEQ); arithmetic wraps modulo."""
+
+MAX_WINDOW = 32
+"""Largest selective-repeat window the 32-bit SACK bitmap can describe."""
+
+_HEADER = struct.Struct(">cHHI")
+_CRC = struct.Struct(">H")
+
+DATA = b"D"
+ACK = b"A"
+
+
+class FrameError(Exception):
+    """Raised when a received transport frame cannot be recovered."""
+
+
+def seq_distance(newer: int, older: int) -> int:
+    """Forward distance from ``older`` to ``newer`` modulo the seq space."""
+    return (newer - older) % MAX_SEQ
+
+
+@dataclass(frozen=True)
+class TransportFrame:
+    """One transport PDU: a data segment or a (selective) ACK."""
+
+    kind: str
+    sequence: int
+    payload: bytes = b""
+    sack_bitmap: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ("data", "ack"):
+            raise ValueError("kind must be 'data' or 'ack'")
+        if not 0 <= self.sequence < MAX_SEQ:
+            raise ValueError("sequence must fit in 16 bits")
+        if not 0 <= self.sack_bitmap < (1 << 32):
+            raise ValueError("SACK bitmap must fit in 32 bits")
+        if self.kind == "data" and self.sack_bitmap:
+            raise ValueError("data frames carry no SACK bitmap")
+        if self.kind == "ack" and self.payload:
+            raise ValueError("ack frames carry no payload")
+        if len(self.payload) >= (1 << 16):
+            raise ValueError("payload too large for the 16-bit length")
+
+    @property
+    def is_data(self) -> bool:
+        """Whether this is a data segment (vs an ACK)."""
+        return self.kind == "data"
+
+    def sacked_sequences(self) -> tuple[int, ...]:
+        """Sequences the SACK bitmap marks as received out of order."""
+        return tuple((self.sequence + 1 + i) % MAX_SEQ
+                     for i in range(MAX_WINDOW)
+                     if self.sack_bitmap >> i & 1)
+
+    def encode(self) -> bytes:
+        """Serialise to the CRC-protected wire format."""
+        body = _HEADER.pack(DATA if self.is_data else ACK,
+                            self.sequence, len(self.payload),
+                            self.sack_bitmap) + self.payload
+        return body + _CRC.pack(crc16_ccitt(body))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TransportFrame":
+        """Recover a frame; raises :class:`FrameError` on corruption."""
+        if len(data) < _HEADER.size + _CRC.size:
+            raise FrameError("frame shorter than header + CRC")
+        kind_byte, sequence, length, sack = _HEADER.unpack_from(data)
+        end = _HEADER.size + length
+        if len(data) != end + _CRC.size:
+            raise FrameError("frame length does not match the header")
+        (received_crc,) = _CRC.unpack_from(data, end)
+        if crc16_ccitt(data[:end]) != received_crc:
+            raise FrameError("transport CRC check failed")
+        if kind_byte == DATA:
+            kind = "data"
+        elif kind_byte == ACK:
+            kind = "ack"
+        else:
+            raise FrameError(f"unknown frame kind {kind_byte!r}")
+        return cls(kind=kind, sequence=sequence,
+                   payload=data[_HEADER.size:end], sack_bitmap=sack)
+
+    @classmethod
+    def data_frame(cls, sequence: int, payload: bytes) -> "TransportFrame":
+        """Convenience constructor for a data segment."""
+        return cls(kind="data", sequence=sequence, payload=payload)
+
+    @classmethod
+    def ack_frame(cls, cumulative: int, sack_bitmap: int = 0
+                  ) -> "TransportFrame":
+        """Convenience constructor for a (selective) ACK."""
+        return cls(kind="ack", sequence=cumulative, sack_bitmap=sack_bitmap)

@@ -1,0 +1,71 @@
+"""The ARQ policy handed to :class:`repro.network.mac.UplinkSimulator`.
+
+The seed MAC retried a lost frame immediately, ``max_retries`` times,
+then gave up — no pacing, no memory.  :class:`AdaptiveRetransmission`
+replaces that loop: each failed transmission waits out the current
+Jacobson RTO (the time a real sender needs to *notice* the loss) and
+backs the timer off exponentially, while successful first
+transmissions feed the estimator (Karn's rule) so the timeout tracks
+the link's actual service time instead of a hard-coded constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .rto import RtoEstimator
+
+__all__ = ["AdaptiveRetransmission"]
+
+
+@dataclass
+class AdaptiveRetransmission:
+    """Jacobson-paced retransmission policy for the uplink MAC.
+
+    Attributes
+    ----------
+    estimator:
+        The adaptive RTO clock; shared across packets so the timeout
+        converges over a run (and can be inspected afterwards).
+    max_transmissions:
+        Hard cap on attempts per packet — the last-resort bound, set
+        well above the old ``max_retries`` default because pacing (not
+        the cap) is now what protects the channel.
+    ack_delay_s:
+        Fixed ACK service time added to every attempt's round trip
+        (side-channel latency for control traffic, 0 for the pure
+        uplink model).
+    """
+
+    estimator: RtoEstimator = field(
+        default_factory=lambda: RtoEstimator(initial_rto_s=0.02,
+                                             min_rto_s=1e-4))
+    max_transmissions: int = 8
+    ack_delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.max_transmissions < 1:
+            raise ValueError("need at least one transmission")
+        if self.ack_delay_s < 0:
+            raise ValueError("ACK delay cannot be negative")
+
+    def attempt_cost_s(self, airtime_s: float, success: bool,
+                       first_attempt: bool) -> float:
+        """Wall-clock cost of one transmission attempt, and learn from it.
+
+        A successful attempt costs its airtime plus the ACK delay; the
+        round trip feeds the estimator only when ``first_attempt``
+        (Karn).  A failed attempt additionally waits out the current
+        RTO before the retransmission can start, and backs the timer
+        off.
+        """
+        if airtime_s <= 0:
+            raise ValueError("airtime must be positive")
+        rtt_s = airtime_s + self.ack_delay_s
+        if success:
+            if first_attempt:
+                self.estimator.observe(rtt_s)
+            return rtt_s
+        cost = rtt_s + self.estimator.rto_s
+        self.estimator.on_timeout()
+        return cost

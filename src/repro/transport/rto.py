@@ -1,0 +1,107 @@
+"""Adaptive retransmission timeout: the Jacobson/Karn estimator.
+
+The seed repo's :class:`repro.network.mac.UplinkSimulator` retried a
+failed frame immediately, up to a fixed ``max_retries`` — fine for a
+lossless ACK path, hopeless for a control plane that must survive a
+flapping side channel or a crashed AP.  This module implements the
+classic TCP timer discipline (Jacobson 1988, RFC 6298):
+
+* smoothed RTT ``SRTT`` and variance ``RTTVAR`` track the measured
+  round-trip samples with EWMA gains of 1/8 and 1/4;
+* the timeout is ``RTO = SRTT + K * RTTVAR`` (K = 4), clamped to a
+  configured window;
+* a timeout doubles the RTO (exponential backoff) until the next valid
+  sample re-anchors it;
+* Karn's rule — never sample the RTT of a retransmitted frame — is the
+  caller's job: :class:`repro.transport.arq.SelectiveRepeatSender` only
+  calls :meth:`observe` for first-transmission frames.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RtoEstimator"]
+
+
+class RtoEstimator:
+    """Jacobson-style smoothed-RTT retransmission-timeout estimator."""
+
+    def __init__(self, initial_rto_s: float = 0.2,
+                 min_rto_s: float = 0.01,
+                 max_rto_s: float = 8.0,
+                 alpha: float = 1.0 / 8.0,
+                 beta: float = 1.0 / 4.0,
+                 k: float = 4.0):
+        if initial_rto_s <= 0:
+            raise ValueError("initial RTO must be positive")
+        if not 0 < min_rto_s <= max_rto_s:
+            raise ValueError("invalid RTO clamp window")
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise ValueError("EWMA gains must be in (0, 1]")
+        if k <= 0:
+            raise ValueError("variance multiplier must be positive")
+        self.min_rto_s = min_rto_s
+        self.max_rto_s = max_rto_s
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self._srtt_s: float | None = None
+        self._rttvar_s: float | None = None
+        self._rto_s = self._clamp(initial_rto_s)
+        self.samples = 0
+        self.timeouts = 0
+
+    def _clamp(self, rto_s: float) -> float:
+        return min(max(rto_s, self.min_rto_s), self.max_rto_s)
+
+    @property
+    def srtt_s(self) -> float | None:
+        """Smoothed RTT estimate (None before the first sample)."""
+        return self._srtt_s
+
+    @property
+    def rttvar_s(self) -> float | None:
+        """Smoothed RTT variance (None before the first sample)."""
+        return self._rttvar_s
+
+    @property
+    def rto_s(self) -> float:
+        """Current retransmission timeout."""
+        return self._rto_s
+
+    def observe(self, rtt_s: float) -> float:
+        """Fold one *first-transmission* RTT sample in; returns the RTO.
+
+        Callers must apply Karn's rule themselves: RTT samples of
+        retransmitted frames are ambiguous (which transmission did the
+        ACK answer?) and must never reach this method.
+        """
+        if rtt_s < 0:
+            raise ValueError("RTT cannot be negative")
+        rtt_s = float(rtt_s)
+        if self._srtt_s is None:
+            # RFC 6298 initial step: SRTT = R, RTTVAR = R/2.
+            self._srtt_s = rtt_s
+            self._rttvar_s = rtt_s / 2.0
+        else:
+            self._rttvar_s = ((1.0 - self.beta) * self._rttvar_s
+                              + self.beta * abs(self._srtt_s - rtt_s))
+            self._srtt_s = ((1.0 - self.alpha) * self._srtt_s
+                            + self.alpha * rtt_s)
+        self._rto_s = self._clamp(self._srtt_s + self.k * self._rttvar_s)
+        self.samples += 1
+        return self._rto_s
+
+    def on_timeout(self) -> float:
+        """Back the timeout off exponentially; returns the new RTO."""
+        self.timeouts += 1
+        self._rto_s = self._clamp(self._rto_s * 2.0)
+        return self._rto_s
+
+    def reset(self) -> None:
+        """Forget the RTT history (e.g. after a failover to a new AP).
+
+        The current RTO is kept as the conservative starting guess; the
+        next sample re-anchors SRTT/RTTVAR from scratch.
+        """
+        self._srtt_s = None
+        self._rttvar_s = None

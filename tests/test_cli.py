@@ -25,6 +25,18 @@ class TestParser:
         assert args.nodes == 5
         assert args.seed == 9
 
+    def test_chaos_options(self):
+        args = build_parser().parse_args(["chaos", "--scenario", "blockage",
+                                          "--seed", "3", "--duration", "10"])
+        assert args.scenario == "blockage"
+        assert args.seed == 3
+        assert args.duration == 10.0
+        assert not args.ap_crash
+
+    def test_chaos_ap_crash_flag(self):
+        args = build_parser().parse_args(["chaos", "--ap-crash"])
+        assert args.ap_crash
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -63,3 +75,13 @@ class TestCommands:
         assert main(["characterize"]) == 0
         out = capsys.readouterr().out
         assert "sparse" in out
+
+    def test_chaos_unknown_scenario_fails(self, capsys):
+        assert main(["chaos", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_chaos_ap_crash(self, capsys):
+        assert main(["chaos", "--ap-crash", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "ap-crash failover" in out
+        assert "frozen single-AP" in out

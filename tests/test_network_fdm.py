@@ -107,3 +107,82 @@ class TestAllocator:
         assert alloc.plan_for(7) == plan
         with pytest.raises(KeyError):
             alloc.plan_for(8)
+
+
+class TestRestorePlan:
+    def test_exact_reinsertion(self):
+        alloc = FdmAllocator()
+        plan = ChannelPlan(node_id=3, center_hz=24.2e9, bandwidth_hz=20e6)
+        alloc.restore_plan(plan)
+        assert alloc.plan_for(3) == plan
+
+    def test_duplicate_rejected(self):
+        alloc = FdmAllocator()
+        alloc.allocate(1, 10e6)
+        with pytest.raises(ValueError):
+            alloc.restore_plan(ChannelPlan(1, 24.2e9, 20e6))
+
+    def test_out_of_band_rejected(self):
+        alloc = FdmAllocator()
+        with pytest.raises(ValueError):
+            alloc.restore_plan(ChannelPlan(0, ISM_24GHZ_HIGH_HZ, 20e6))
+
+    def test_overlap_rejected(self):
+        alloc = FdmAllocator()
+        alloc.restore_plan(ChannelPlan(0, 24.2e9, 20e6))
+        with pytest.raises(ValueError):
+            alloc.restore_plan(ChannelPlan(1, 24.21e9, 20e6))
+
+
+class TestExhaustionAndDegradation:
+    """Allocator exhaustion and the AP's graceful handling of it."""
+
+    def _full_allocator(self):
+        alloc = FdmAllocator()
+        node_id = 0
+        while True:
+            try:
+                alloc.allocate(node_id, 20e6)
+            except SpectrumExhausted:
+                return alloc, node_id
+            node_id += 1
+
+    def test_exhausted_allocator_stays_consistent(self):
+        alloc, count = self._full_allocator()
+        # The failed allocation left no half-committed state behind.
+        assert len(alloc.plans) == count
+        for i, a in enumerate(alloc.plans):
+            for b in alloc.plans[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_mark_interference_on_full_ap(self):
+        from repro.node.access_point import MmxAccessPoint
+
+        ap = MmxAccessPoint()
+        node_id = 0
+        while True:
+            try:
+                ap.register_node(node_id, 10e6)
+            except SpectrumExhausted:
+                break
+            node_id += 1
+        victim = ap.allocator.plan_for(0)
+        hit = ap.mark_interference(victim.low_hz, victim.high_hz)
+        assert 0 in hit
+        # Fully allocated band + a fresh block: no clean channel exists,
+        # so the move degrades gracefully instead of raising.
+        before = ap.registration(0)
+        assert ap.reallocate_node(0) is None
+        assert ap.registration(0) == before
+        assert ap.stats()["reallocation_failures"] == 1
+
+    def test_reallocation_failure_counter_accumulates(self):
+        from repro.node.access_point import MmxAccessPoint
+
+        ap = MmxAccessPoint()
+        ap.register_node(0, 10e6)
+        # Block the entire band except the victim's own slot.
+        ap.allocator.block_range(ISM_24GHZ_LOW_HZ, ISM_24GHZ_HIGH_HZ)
+        assert ap.reallocate_node(0) is None
+        assert ap.reallocate_node(0) is None
+        assert ap.reallocation_failures == 2

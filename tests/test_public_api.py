@@ -17,7 +17,7 @@ import repro
 PACKAGES = [
     "repro", "repro.core", "repro.phy", "repro.antenna", "repro.channel",
     "repro.hardware", "repro.node", "repro.network", "repro.baselines",
-    "repro.sim", "repro.experiments",
+    "repro.sim", "repro.experiments", "repro.transport", "repro.cluster",
 ]
 
 

@@ -1,0 +1,293 @@
+"""Tests for the reliable transport: RTO, framing, ARQ, breaker, MAC."""
+
+import numpy as np
+import pytest
+
+from repro.transport import (
+    AdaptiveRetransmission,
+    CircuitBreaker,
+    CircuitOpenError,
+    FrameError,
+    MAX_SEQ,
+    MAX_WINDOW,
+    ReliableLink,
+    RtoEstimator,
+    SelectiveRepeatReceiver,
+    SelectiveRepeatSender,
+    TransportFrame,
+    seq_distance,
+)
+
+
+class TestRtoEstimator:
+    def test_first_sample_anchors_rfc6298(self):
+        est = RtoEstimator()
+        rto = est.observe(0.1)
+        # SRTT = R, RTTVAR = R/2, RTO = SRTT + 4*RTTVAR = 3R.
+        assert est.srtt_s == pytest.approx(0.1)
+        assert est.rttvar_s == pytest.approx(0.05)
+        assert rto == pytest.approx(0.3)
+
+    def test_steady_samples_shrink_variance(self):
+        est = RtoEstimator(min_rto_s=1e-4)
+        for _ in range(200):
+            est.observe(0.05)
+        # With zero jitter the variance decays toward 0 and the RTO
+        # converges down onto the RTT itself (clamped at min).
+        assert est.rttvar_s < 1e-3
+        assert est.rto_s < 0.06
+
+    def test_timeout_doubles_and_clamps(self):
+        est = RtoEstimator(initial_rto_s=0.2, max_rto_s=1.0)
+        assert est.on_timeout() == pytest.approx(0.4)
+        assert est.on_timeout() == pytest.approx(0.8)
+        assert est.on_timeout() == pytest.approx(1.0)
+        assert est.timeouts == 3
+
+    def test_reset_keeps_rto_forgets_history(self):
+        est = RtoEstimator()
+        est.observe(0.1)
+        rto_before = est.rto_s
+        est.reset()
+        assert est.srtt_s is None
+        assert est.rttvar_s is None
+        assert est.rto_s == rto_before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RtoEstimator(initial_rto_s=0.0)
+        with pytest.raises(ValueError):
+            RtoEstimator(min_rto_s=2.0, max_rto_s=1.0)
+        with pytest.raises(ValueError):
+            RtoEstimator().observe(-0.1)
+
+
+class TestFraming:
+    def test_data_round_trip(self):
+        frame = TransportFrame.data_frame(42, b"hello mmx")
+        decoded = TransportFrame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_ack_round_trip_with_sack(self):
+        frame = TransportFrame.ack_frame(100, sack_bitmap=0b101)
+        decoded = TransportFrame.decode(frame.encode())
+        assert decoded == frame
+        assert decoded.sacked_sequences() == (101, 103)
+
+    def test_sack_wraps_sequence_space(self):
+        frame = TransportFrame.ack_frame(MAX_SEQ - 1, sack_bitmap=0b1)
+        assert frame.sacked_sequences() == (0,)
+
+    def test_corruption_detected(self):
+        blob = bytearray(TransportFrame.data_frame(7, b"payload").encode())
+        blob[10] ^= 0xFF
+        with pytest.raises(FrameError):
+            TransportFrame.decode(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = TransportFrame.data_frame(7, b"payload").encode()
+        with pytest.raises(FrameError):
+            TransportFrame.decode(blob[:-3])
+
+    def test_invalid_frames_rejected(self):
+        with pytest.raises(ValueError):
+            TransportFrame(kind="nack", sequence=0)
+        with pytest.raises(ValueError):
+            TransportFrame(kind="data", sequence=MAX_SEQ)
+        with pytest.raises(ValueError):
+            TransportFrame(kind="data", sequence=0, sack_bitmap=1)
+        with pytest.raises(ValueError):
+            TransportFrame(kind="ack", sequence=0, payload=b"x")
+
+    def test_seq_distance_wraps(self):
+        assert seq_distance(5, 3) == 2
+        assert seq_distance(1, MAX_SEQ - 1) == 2
+        assert seq_distance(0, 0) == 0
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0)
+        for t in range(2):
+            breaker.record_failure(float(t))
+            assert breaker.state == "closed"
+        breaker.record_failure(2.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(2.5)
+        assert breaker.seconds_until_retry(2.5) == pytest.approx(0.5)
+
+    def test_half_open_probe_and_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.5)          # probe admitted
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.allow(1.2)
+        breaker.record_failure(1.2)        # probe failed: reopen at once
+        assert breaker.state == "open"
+        assert not breaker.allow(1.5)
+        assert breaker.stats()["trips"] == 2
+
+    def test_success_clears_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success()
+        breaker.record_failure(0.2)
+        assert breaker.state == "closed"
+
+
+class TestSelectiveRepeat:
+    def test_lossless_in_order(self):
+        payloads = [bytes([i]) * 10 for i in range(40)]
+        stats = ReliableLink(loss_probability=0.0,
+                             rng=np.random.default_rng(0)
+                             ).transfer(payloads)
+        assert stats.delivered == 40
+        assert stats.in_order
+        assert stats.retransmissions == 0
+
+    def test_lossy_link_still_delivers_everything(self):
+        payloads = [bytes([i % 256]) * 32 for i in range(60)]
+        stats = ReliableLink(loss_probability=0.3,
+                             rng=np.random.default_rng(1)
+                             ).transfer(payloads)
+        assert stats.delivery_ratio == 1.0
+        assert stats.in_order
+        assert stats.retransmissions > 0
+
+    def test_receiver_reorders(self):
+        rx = SelectiveRepeatReceiver(window=8)
+        f0 = TransportFrame.data_frame(0, b"a")
+        f1 = TransportFrame.data_frame(1, b"b")
+        f2 = TransportFrame.data_frame(2, b"c")
+        ack = rx.on_data(f2)           # out of order: buffered
+        assert ack.sequence == (0 - 1) % MAX_SEQ
+        assert 2 in ack.sacked_sequences()
+        rx.on_data(f0)
+        ack = rx.on_data(f1)           # gap filled: cumulative jumps
+        assert ack.sequence == 2
+        assert rx.take_delivered() == [b"a", b"b", b"c"]
+
+    def test_duplicate_counted_not_redelivered(self):
+        rx = SelectiveRepeatReceiver(window=8)
+        frame = TransportFrame.data_frame(0, b"x")
+        rx.on_data(frame)
+        rx.on_data(frame)
+        assert rx.duplicates == 1
+        assert rx.take_delivered() == [b"x"]
+
+    def test_sender_gives_up_after_cap(self):
+        sender = SelectiveRepeatSender(
+            window=4, max_transmissions=3,
+            rto=RtoEstimator(initial_rto_s=0.1, min_rto_s=0.01))
+        sender.offer(b"doomed")
+        now = 0.0
+        for _ in range(20):
+            sender.poll(now)
+            now += 5.0                 # every deadline long passed
+            if sender.done:
+                break
+        assert sender.gave_up == [0]
+        assert sender.done
+
+    def test_window_never_exceeded(self):
+        sender = SelectiveRepeatSender(window=4)
+        for i in range(100):
+            sender.offer(bytes([i]))
+        sent = sender.poll(0.0)
+        assert len(sent) == 4
+        assert sender.in_flight == 4
+
+    def test_window_bounds(self):
+        with pytest.raises(ValueError):
+            SelectiveRepeatSender(window=MAX_WINDOW + 1)
+        with pytest.raises(ValueError):
+            SelectiveRepeatReceiver(window=0)
+
+
+class TestAdaptiveUplink:
+    def test_policy_costs(self):
+        policy = AdaptiveRetransmission(
+            estimator=RtoEstimator(initial_rto_s=0.02, min_rto_s=1e-4))
+        ok = policy.attempt_cost_s(0.001, success=True, first_attempt=True)
+        assert ok == pytest.approx(0.001)
+        assert policy.estimator.samples == 1
+        fail = policy.attempt_cost_s(0.001, success=False,
+                                     first_attempt=False)
+        # Failure pays airtime plus the current RTO, then backs off.
+        assert fail > 0.001
+        assert policy.estimator.timeouts == 1
+
+    def test_karn_rule_respected(self):
+        policy = AdaptiveRetransmission()
+        policy.attempt_cost_s(0.001, success=True, first_attempt=False)
+        assert policy.estimator.samples == 0
+
+    def test_adaptive_uplink_runs_and_converges(self):
+        from repro.network.mac import UplinkSimulator
+
+        sim = UplinkSimulator(
+            link_rate_bps=10e6, frame_bits=8192,
+            frame_success_probability=0.9,
+            rng=np.random.default_rng(3),
+            transport=AdaptiveRetransmission())
+        stats = sim.run(duration_s=2.0, packet_interval_s=0.01)
+        assert stats.delivery_ratio > 0.8
+        # The estimator learned the link's service time.
+        assert sim.transport.estimator.samples > 0
+        assert sim.transport.estimator.srtt_s == pytest.approx(
+            sim.frame_airtime_s, rel=0.01)
+
+    def test_seed_default_path_unchanged(self):
+        from repro.network.mac import UplinkSimulator
+
+        fixed = UplinkSimulator(
+            link_rate_bps=10e6, frame_bits=8192,
+            frame_success_probability=1.0,
+            rng=np.random.default_rng(0))
+        stats = fixed.run(duration_s=1.0, packet_interval_s=0.01)
+        assert stats.delivery_ratio == 1.0
+        assert stats.retransmissions == 0
+
+
+class TestBreakerInInitProtocol:
+    def _protocol(self, delivery_ratio, breaker, seed=0):
+        from repro.network.init_protocol import (InitializationProtocol,
+                                                 SideChannel)
+        from repro.node.access_point import MmxAccessPoint
+
+        channel = SideChannel(delivery_ratio=delivery_ratio,
+                              rng=np.random.default_rng(seed))
+        return InitializationProtocol(MmxAccessPoint(),
+                                      side_channel=channel,
+                                      breaker=breaker)
+
+    def test_dead_channel_trips_then_fails_fast(self):
+        from repro.node.node import MmxNode
+
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0)
+        proto = self._protocol(delivery_ratio=1e-9, breaker=breaker)
+        with pytest.raises(CircuitOpenError):
+            proto.initialize(MmxNode(node_id=0), 1e6)
+        assert breaker.state == "open"
+        # Second node fails fast: rejected before any channel allocation.
+        with pytest.raises(CircuitOpenError):
+            proto.initialize(MmxNode(node_id=1), 1e6)
+        assert breaker.stats()["rejected_calls"] == 1
+        assert proto.access_point.registered_nodes == []
+
+    def test_healthy_channel_unaffected(self):
+        from repro.node.node import MmxNode
+
+        breaker = CircuitBreaker(failure_threshold=3)
+        proto = self._protocol(delivery_ratio=1.0, breaker=breaker)
+        record = proto.initialize(MmxNode(node_id=0), 1e6)
+        assert record.attempts == 1
+        assert breaker.state == "closed"
