@@ -39,6 +39,20 @@ Layout
 ``repro.experiments`` one module per paper table/figure
 """
 
+from .antenna import OrthogonalBeamPair, PhasedArray, design_mmx_beams
+from .baselines import (
+    ExhaustiveBeamSearch,
+    FixedBeamNode,
+    HierarchicalBeamSearch,
+    comparison_table,
+)
+from .channel import ChannelResponse, trace_paths, two_beam_gains
+from .cluster import (
+    ApCheckpoint,
+    Cluster,
+    FailoverSimulation,
+    HeartbeatMonitor,
+)
 from .constants import CARRIER_FREQUENCY_HZ, NODE_EIRP_DBM
 from .core import (
     AskFskConfig,
@@ -52,23 +66,6 @@ from .core import (
     PacketError,
     SnrBreakdown,
 )
-from .antenna import OrthogonalBeamPair, PhasedArray, design_mmx_beams
-from .channel import ChannelResponse, trace_paths, two_beam_gains
-from .hardware import AccessPointHardware, NodeHardware
-from .node import DigitalController, MmxAccessPoint, MmxNode
-from .network import (
-    FdmAllocator,
-    InterferenceModel,
-    MultiNodeNetwork,
-    TimeModulatedArray,
-)
-from .baselines import (
-    ExhaustiveBeamSearch,
-    FixedBeamNode,
-    HierarchicalBeamSearch,
-    comparison_table,
-)
-from .phy import default_preamble_bits, random_bits
 from .faults import (
     FaultEvent,
     FaultInjector,
@@ -76,24 +73,21 @@ from .faults import (
     LinkDisturbance,
     scenario_injector,
 )
+from .hardware import AccessPointHardware, NodeHardware
+from .network import (
+    FdmAllocator,
+    InterferenceModel,
+    MultiNodeNetwork,
+    TimeModulatedArray,
+)
+from .node import DigitalController, MmxAccessPoint, MmxNode
+from .phy import default_preamble_bits, random_bits
 from .resilience import (
     ChaosResult,
     ChaosSimulation,
     LinkHealthMonitor,
     LinkHealthReport,
     LinkSupervisor,
-)
-from .transport import (
-    AdaptiveRetransmission,
-    CircuitBreaker,
-    ReliableLink,
-    RtoEstimator,
-)
-from .cluster import (
-    ApCheckpoint,
-    Cluster,
-    FailoverSimulation,
-    HeartbeatMonitor,
 )
 from .sim import (
     Blocker,
@@ -104,7 +98,72 @@ from .sim import (
     Room,
     default_lab_room,
 )
+from .transport import (
+    AdaptiveRetransmission,
+    CircuitBreaker,
+    ReliableLink,
+    RtoEstimator,
+)
 
 __version__ = "1.0.0"
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "AccessPointHardware",
+    "AdaptiveRetransmission",
+    "ApCheckpoint",
+    "AskFskConfig",
+    "Blocker",
+    "CARRIER_FREQUENCY_HZ",
+    "ChannelResponse",
+    "ChaosResult",
+    "ChaosSimulation",
+    "CircuitBreaker",
+    "Cluster",
+    "DemodResult",
+    "DigitalController",
+    "ExhaustiveBeamSearch",
+    "FailoverSimulation",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FdmAllocator",
+    "FixedBeamNode",
+    "HeartbeatMonitor",
+    "HierarchicalBeamSearch",
+    "InterferenceModel",
+    "JointDemodulator",
+    "LinkDisturbance",
+    "LinkHealthMonitor",
+    "LinkHealthReport",
+    "LinkReport",
+    "LinkSupervisor",
+    "MmxAccessPoint",
+    "MmxNode",
+    "MonteCarloRunner",
+    "MultiNodeNetwork",
+    "NODE_EIRP_DBM",
+    "NodeHardware",
+    "OrthogonalBeamPair",
+    "OtamLink",
+    "OtamModulator",
+    "Packet",
+    "PacketCodec",
+    "PacketError",
+    "PhasedArray",
+    "Placement",
+    "PlacementSampler",
+    "Point",
+    "ReliableLink",
+    "Room",
+    "RtoEstimator",
+    "SnrBreakdown",
+    "TimeModulatedArray",
+    "comparison_table",
+    "default_lab_room",
+    "default_preamble_bits",
+    "design_mmx_beams",
+    "random_bits",
+    "scenario_injector",
+    "trace_paths",
+    "two_beam_gains",
+]

@@ -7,10 +7,9 @@ those patterns analytically, provides the AP dipole, and implements a
 conventional phased array for the beam-searching baselines.
 """
 
-from .element import PatchElement, DipoleElement, IsotropicElement
 from .array import UniformLinearArray, array_factor
+from .element import PatchElement, DipoleElement, IsotropicElement
 from .orthogonal import OrthogonalBeamPair, design_mmx_beams
-from .phased_array import PhasedArray
 from .patterns import (
     half_power_beamwidth_deg,
     find_null_directions_deg,
@@ -18,5 +17,20 @@ from .patterns import (
     pattern_orthogonality_db,
     directivity_dbi,
 )
+from .phased_array import PhasedArray
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "DipoleElement",
+    "IsotropicElement",
+    "OrthogonalBeamPair",
+    "PatchElement",
+    "PhasedArray",
+    "UniformLinearArray",
+    "array_factor",
+    "design_mmx_beams",
+    "directivity_dbi",
+    "find_null_directions_deg",
+    "half_power_beamwidth_deg",
+    "pattern_orthogonality_db",
+    "peak_direction_deg",
+]

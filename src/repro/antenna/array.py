@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..units import wavelength
+from ..units import amplitude_to_db, wavelength
 
 __all__ = ["array_factor", "UniformLinearArray"]
 
@@ -93,10 +93,9 @@ class UniformLinearArray:
     def power_db(self, theta_rad) -> np.ndarray:
         """Normalised power pattern [dB relative to the pattern peak]."""
         amp = self.field(theta_rad)
-        with np.errstate(divide="ignore"):
-            return 20.0 * np.log10(np.maximum(amp, 1e-12))
+        return amplitude_to_db(np.maximum(amp, 1e-12))
 
-    def steered(self, steer_theta_rad: float) -> "UniformLinearArray":
+    def steered(self, steer_theta_rad: float) -> UniformLinearArray:
         """Return a copy phased to steer the main lobe to a direction.
 
         This is what a *phased array* does with its phase shifters; the

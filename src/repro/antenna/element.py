@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..units import db_to_amplitude
+from ..units import amplitude_to_db, db_to_amplitude
 
 __all__ = ["PatchElement", "DipoleElement", "IsotropicElement"]
 
@@ -44,8 +44,7 @@ class PatchElement:
     def power_db(self, theta_rad) -> np.ndarray:
         """Power pattern [dB relative to peak]."""
         amp = self.field(theta_rad)
-        with np.errstate(divide="ignore"):
-            return 20.0 * np.log10(amp)
+        return amplitude_to_db(amp)
 
 
 @dataclass(frozen=True)

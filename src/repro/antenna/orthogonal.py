@@ -27,7 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..constants import BEAM0_PEAK_DEG, CARRIER_FREQUENCY_HZ
-from ..units import wavelength
+from ..units import amplitude_to_db, db_to_amplitude, wavelength
 from .array import UniformLinearArray
 from .element import PatchElement
 
@@ -89,12 +89,12 @@ class OrthogonalBeamPair:
         """Absolute gain [dBi] of the selected beam toward ``theta_rad``."""
         gain = self.peak_gain_dbi + self.pattern(bit).power_db(theta_rad)
         if bit == 0:
-            gain = gain + 20.0 * np.log10(self._beam0_scale)
+            gain = gain + amplitude_to_db(self._beam0_scale)
         return gain
 
     def amplitude_gain(self, bit: int, theta_rad) -> np.ndarray:
         """Linear field-amplitude gain (sqrt of power gain) toward a direction."""
-        return 10.0 ** (np.asarray(self.gain_dbi(bit, theta_rad)) / 20.0)
+        return db_to_amplitude(self.gain_dbi(bit, theta_rad))
 
 
 @dataclass(frozen=True)
@@ -137,7 +137,7 @@ class ParametricBeam:
 
     def field(self, theta_rad) -> np.ndarray:
         """Field amplitude relative to the pattern peak."""
-        return np.power(10.0, self.power_db(theta_rad) / 20.0)
+        return db_to_amplitude(self.power_db(theta_rad))
 
 
 def measured_mmx_beams(peak_gain_dbi: float = 8.0) -> OrthogonalBeamPair:

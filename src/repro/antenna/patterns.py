@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..units import db_to_linear, linear_to_db
+
 __all__ = [
     "half_power_beamwidth_deg",
     "find_null_directions_deg",
@@ -102,6 +104,6 @@ def directivity_dbi(pattern) -> float:
     ordering between patterns, which is all the reproduction relies on.
     """
     grid, p = _power_db_on_grid(pattern)
-    linear = 10.0 ** (p / 10.0)
+    linear = db_to_linear(p)
     mean = float(np.trapezoid(linear, grid) / (grid[-1] - grid[0]))
-    return float(10.0 * np.log10(linear.max() / mean))
+    return float(linear_to_db(linear.max() / mean))

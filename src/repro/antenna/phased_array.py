@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..units import wavelength
+from ..units import linear_to_db, wavelength
 from .array import UniformLinearArray
 from .element import PatchElement
 
@@ -91,6 +91,6 @@ class PhasedArray:
         Peak gain scales as 10*log10(N) + element gain (~5 dBi for a
         patch sub-array), the standard array-gain rule.
         """
-        peak = 10.0 * np.log10(self.num_elements) + 5.0
+        peak = float(linear_to_db(self.num_elements)) + 5.0
         pattern = self.steered_pattern(steer_theta_rad)
         return peak + pattern.power_db(look_theta_rad)

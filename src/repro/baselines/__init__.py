@@ -16,4 +16,17 @@ from .fixed_beam import FixedBeamNode
 from .platforms import PlatformSpec, PLATFORMS, mmx_platform, comparison_table
 from .spectrum import WifiChannelModel, MmxCapacityModel, iot_device_capacity
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "BeamSearchResult",
+    "ExhaustiveBeamSearch",
+    "FeedbackBeamSelection",
+    "FixedBeamNode",
+    "HierarchicalBeamSearch",
+    "MmxCapacityModel",
+    "PLATFORMS",
+    "PlatformSpec",
+    "WifiChannelModel",
+    "comparison_table",
+    "iot_device_capacity",
+    "mmx_platform",
+]

@@ -15,6 +15,7 @@ from ..antenna.orthogonal import measured_mmx_beams
 from ..channel.multipath import beam_channel_gain
 from ..channel.raytrace import trace_paths
 from ..sim.placement import Placement
+from ..units import amplitude_to_db
 
 __all__ = ["FixedBeamNode"]
 
@@ -54,12 +55,10 @@ class FixedBeamNode:
         The interesting cases are blocked-LoS placements, where the fixed
         beam has nothing to fall back on and drops into outage.
         """
-        import math
-
         gain = abs(self.channel_gain(placement, room, ap_element))
         if gain <= 0.0:
             return float("-inf"), True
         level = (eirp_dbm + ap_gain_dbi - implementation_loss_db
-                 + 20.0 * math.log10(gain))
+                 + float(amplitude_to_db(gain)))
         snr = level - noise_dbm
         return snr, snr < required_snr_db

@@ -7,6 +7,8 @@ applies Friis path loss plus the paper's reflection/blockage excess-loss
 bands, and exposes per-beam complex channel gains to the OTAM core.
 """
 
+from .multipath import ChannelResponse, beam_channel_gain, two_beam_gains
+from .noise import noise_power_dbm, complex_awgn
 from .pathloss import (
     free_space_path_loss_db,
     log_distance_path_loss_db,
@@ -14,8 +16,6 @@ from .pathloss import (
     oxygen_absorption_db,
 )
 from .raytrace import PropagationPath, trace_paths
-from .multipath import ChannelResponse, beam_channel_gain, two_beam_gains
-from .noise import noise_power_dbm, complex_awgn
 from .statistics import (
     ChannelStats,
     angular_spread_rad,
@@ -24,4 +24,21 @@ from .statistics import (
     rms_delay_spread_s,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "ChannelResponse",
+    "ChannelStats",
+    "PropagationPath",
+    "angular_spread_rad",
+    "beam_channel_gain",
+    "characterize",
+    "complex_awgn",
+    "free_space_path_loss_db",
+    "friis_received_power_dbm",
+    "log_distance_path_loss_db",
+    "noise_power_dbm",
+    "oxygen_absorption_db",
+    "rician_k_factor_db",
+    "rms_delay_spread_s",
+    "trace_paths",
+    "two_beam_gains",
+]

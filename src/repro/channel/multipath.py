@@ -19,13 +19,12 @@ the over-the-air ASK signal.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..sim.geometry import Point, normalize_angle
-from ..units import wavelength
+from ..units import amplitude_to_db, db_to_amplitude, wavelength
 from .pathloss import free_space_path_loss_db, oxygen_absorption_db
 from .raytrace import PropagationPath, trace_paths
 
@@ -51,7 +50,7 @@ class ChannelResponse:
         """Received level for a bit, in dB relative to the node's EIRP."""
         h = self.h1 if bit == 1 else self.h0
         mag = abs(h)
-        return 20.0 * math.log10(mag) if mag > 0 else float("-inf")
+        return float(amplitude_to_db(mag)) if mag > 0 else float("-inf")
 
     @property
     def ask_contrast_db(self) -> float:
@@ -62,7 +61,7 @@ class ChannelResponse:
             return 0.0
         if lo == 0.0:
             return float("inf")
-        return 20.0 * math.log10(hi / lo)
+        return float(amplitude_to_db(hi / lo))
 
     @property
     def inverted(self) -> bool:
@@ -117,7 +116,7 @@ def beam_channel_gain(paths, tx_field, rx_field,
         loss_db = (float(free_space_path_loss_db(p.length_m, frequency_hz))
                    + float(oxygen_absorption_db(p.length_m, frequency_hz))
                    + p.excess_loss_db)
-        amplitude = g_tx * g_rx * 10.0 ** (-loss_db / 20.0)
+        amplitude = g_tx * g_rx * float(db_to_amplitude(-loss_db))
         phase = -2.0 * np.pi * p.length_m / lam
         total += amplitude * np.exp(1j * phase)
     return complex(total)

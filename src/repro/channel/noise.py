@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import THERMAL_NOISE_DBM_PER_HZ
+from ..rng import ensure_rng
+from ..units import dbm_to_milliwatts, linear_to_db
 
 __all__ = ["noise_power_dbm", "complex_awgn"]
 
@@ -13,7 +15,7 @@ def noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
     """Noise power [dBm] in a bandwidth, including receiver noise figure."""
     if bandwidth_hz <= 0:
         raise ValueError("bandwidth must be positive")
-    return (THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz)
+    return (THERMAL_NOISE_DBM_PER_HZ + float(linear_to_db(bandwidth_hz))
             + noise_figure_db)
 
 
@@ -27,7 +29,7 @@ def complex_awgn(n: int, power_dbm: float,
     """
     if n < 0:
         raise ValueError("sample count must be non-negative")
-    rng = rng or np.random.default_rng()
-    power_lin = 10.0 ** (power_dbm / 10.0)
+    rng = ensure_rng(rng)
+    power_lin = float(dbm_to_milliwatts(power_dbm))
     sigma = np.sqrt(power_lin / 2.0)
     return sigma * (rng.standard_normal(n) + 1j * rng.standard_normal(n))

@@ -9,8 +9,9 @@ exists.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
-from ..units import wavelength
+from ..units import FloatArray, amplitude_to_db, linear_to_db, wavelength
 
 __all__ = [
     "free_space_path_loss_db",
@@ -20,7 +21,8 @@ __all__ = [
 ]
 
 
-def free_space_path_loss_db(distance_m, frequency_hz: float) -> np.ndarray:
+def free_space_path_loss_db(distance_m: npt.ArrayLike,
+                            frequency_hz: float) -> FloatArray:
     """Friis free-space path loss [dB]: ``20 log10(4 pi d / lambda)``.
 
     Distances below one wavelength are clamped to one wavelength — the
@@ -29,17 +31,17 @@ def free_space_path_loss_db(distance_m, frequency_hz: float) -> np.ndarray:
     """
     if frequency_hz <= 0:
         raise ValueError("frequency must be positive")
-    d = np.asarray(distance_m, dtype=float)
+    d = np.asarray(distance_m, dtype=np.float64)
     if np.any(d < 0):
         raise ValueError("distance cannot be negative")
     lam = wavelength(frequency_hz)
     d = np.maximum(d, lam)
-    return 20.0 * np.log10(4.0 * np.pi * d / lam)
+    return amplitude_to_db(4.0 * np.pi * d / lam)
 
 
-def log_distance_path_loss_db(distance_m, frequency_hz: float,
+def log_distance_path_loss_db(distance_m: npt.ArrayLike, frequency_hz: float,
                               exponent: float = 2.0,
-                              reference_m: float = 1.0) -> np.ndarray:
+                              reference_m: float = 1.0) -> FloatArray:
     """Log-distance model: FSPL at ``reference_m`` plus ``10 n log10(d/d0)``.
 
     Indoor LoS mmWave measurements report exponents near 2 (free space);
@@ -49,26 +51,28 @@ def log_distance_path_loss_db(distance_m, frequency_hz: float,
         raise ValueError("path-loss exponent must be positive")
     if reference_m <= 0:
         raise ValueError("reference distance must be positive")
-    d = np.maximum(np.asarray(distance_m, dtype=float), reference_m)
+    d = np.maximum(np.asarray(distance_m, dtype=np.float64), reference_m)
     pl0 = free_space_path_loss_db(reference_m, frequency_hz)
-    return pl0 + 10.0 * exponent * np.log10(d / reference_m)
+    return pl0 + exponent * linear_to_db(d / reference_m)
 
 
 def friis_received_power_dbm(eirp_dbm: float, rx_gain_dbi: float,
-                             distance_m, frequency_hz: float) -> np.ndarray:
+                             distance_m: npt.ArrayLike,
+                             frequency_hz: float) -> FloatArray:
     """Received power [dBm] over a clear free-space path."""
     return (eirp_dbm + rx_gain_dbi
             - free_space_path_loss_db(distance_m, frequency_hz))
 
 
-def oxygen_absorption_db(distance_m, frequency_hz: float) -> np.ndarray:
+def oxygen_absorption_db(distance_m: npt.ArrayLike,
+                         frequency_hz: float) -> FloatArray:
     """Atmospheric absorption [dB] over a path.
 
     Negligible at 24 GHz (~0.1 dB/km) but ~15 dB/km at 60 GHz, where the
     O2 resonance sits.  Included so the 60 GHz variants (OpenMili-class
     platforms in Table 1) pay the right penalty.
     """
-    d_km = np.asarray(distance_m, dtype=float) / 1000.0
+    d_km = np.asarray(distance_m, dtype=np.float64) / 1000.0
     f_ghz = frequency_hz / 1e9
     if 57.0 <= f_ghz <= 64.0:
         rate_db_per_km = 15.0

@@ -26,6 +26,7 @@ from ..sim.geometry import (
     reflect_point_across_line,
     segment_intersection,
 )
+from ..units import amplitude_to_db
 
 __all__ = ["PropagationPath", "trace_paths"]
 
@@ -191,8 +192,6 @@ def trace_paths(tx: Point, rx: Point, room: Room,
     paths = [p for p in paths if p.excess_loss_db <= max_excess_loss_db]
     # Sort by a rough strength proxy: excess loss plus spreading loss
     # relative to a 1 m reference (20 log10 of the length ratio).
-    import math
-
     paths.sort(key=lambda p: p.excess_loss_db
-               + 20.0 * math.log10(max(p.length_m, 1e-3)))
+               + float(amplitude_to_db(max(p.length_m, 1e-3))))
     return paths

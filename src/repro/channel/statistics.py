@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..units import db_to_amplitude, linear_to_db
 from .pathloss import free_space_path_loss_db
 from .raytrace import PropagationPath, trace_paths
 
@@ -37,7 +38,7 @@ def path_amplitudes(paths: list[PropagationPath],
     for p in paths:
         loss_db = (float(free_space_path_loss_db(p.length_m, frequency_hz))
                    + p.excess_loss_db)
-        amps.append(10.0 ** (-loss_db / 20.0))
+        amps.append(float(db_to_amplitude(-loss_db)))
     return np.asarray(amps)
 
 
@@ -57,7 +58,7 @@ def rician_k_factor_db(paths: list[PropagationPath],
     rest = float(np.sum(powers[1:]))
     if rest <= 0.0:
         return float("inf")
-    return float(10.0 * np.log10(powers[0] / rest))
+    return float(linear_to_db(powers[0] / rest))
 
 
 def rms_delay_spread_s(paths: list[PropagationPath],

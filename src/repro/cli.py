@@ -8,6 +8,7 @@ Commands
 ``characterize``           channel statistics for the default lab
 ``chaos --scenario NAME``  fault-injection run: recovery ladder vs static
 ``chaos --ap-crash``       multi-AP failover vs a frozen single AP
+``lint [paths...]``        run the reprolint static analyser (repo checkouts)
 ``list``                   available experiment names
 """
 
@@ -15,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -59,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the multi-AP failover comparison "
                             "(cluster vs frozen single AP) instead of "
                             "a link-fault scenario")
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static analyser over the repo")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: src/)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit findings as JSON")
 
     sub.add_parser("list", help="list experiment names")
     return parser
@@ -199,6 +208,29 @@ def _cmd_chaos(scenario: str, seed: int, duration: float,
     return 0
 
 
+def _cmd_lint(paths: list[str], as_json: bool) -> int:
+    # The linter lives in tools/ (it is repo tooling, not part of the
+    # installed package), so `repro lint` only works from a checkout:
+    # walk up from this file until a tools/reprolint directory appears.
+    for parent in Path(__file__).resolve().parents:
+        tools_dir = parent / "tools"
+        if (tools_dir / "reprolint" / "__init__.py").is_file():
+            break
+    else:
+        print("repro lint: tools/reprolint not found; run from a repo "
+              "checkout or use `python tools/reprolint` directly",
+              file=sys.stderr)
+        return 2
+    if str(tools_dir) not in sys.path:
+        sys.path.insert(0, str(tools_dir))
+    from reprolint.cli import main as reprolint_main
+
+    argv = list(paths) or [str(parent / "src")]
+    if as_json:
+        argv += ["--format", "json"]
+    return reprolint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -213,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "chaos":
         return _cmd_chaos(args.scenario, args.seed, args.duration,
                           args.ap_crash)
+    if args.command == "lint":
+        return _cmd_lint(args.paths, args.as_json)
     if args.command == "list":
         print("fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 "
               "table1 ablations extensions chaos")

@@ -69,7 +69,7 @@ class ApCheckpoint:
     # --- capture ----------------------------------------------------------
 
     @classmethod
-    def capture(cls, access_point) -> "ApCheckpoint":
+    def capture(cls, access_point) -> ApCheckpoint:
         """Snapshot a live :class:`MmxAccessPoint`."""
         alloc = access_point.allocator
         plans = tuple(sorted(
@@ -118,7 +118,7 @@ class ApCheckpoint:
         return json.dumps(self.to_dict(), sort_keys=True, indent=1)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ApCheckpoint":
+    def from_dict(cls, data: dict) -> ApCheckpoint:
         """Deserialise, verifying schema version and integrity hash."""
         if not isinstance(data, dict):
             raise CheckpointError("checkpoint must be a dict")
@@ -149,7 +149,7 @@ class ApCheckpoint:
             raise CheckpointError(f"malformed checkpoint: {exc}") from exc
 
     @classmethod
-    def from_json(cls, text: str) -> "ApCheckpoint":
+    def from_json(cls, text: str) -> ApCheckpoint:
         """Deserialise from the JSON string format."""
         try:
             data = json.loads(text)
@@ -163,7 +163,7 @@ class ApCheckpoint:
             fh.write(self.to_json())
 
     @classmethod
-    def load(cls, path) -> "ApCheckpoint":
+    def load(cls, path) -> ApCheckpoint:
         """Read and verify a checkpoint file."""
         with open(path, encoding="utf-8") as fh:
             return cls.from_json(fh.read())

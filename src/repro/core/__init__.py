@@ -9,10 +9,10 @@ the AP into one end-to-end simulated link.
 """
 
 from .ask_fsk import AskFskConfig
-from .otam import OtamModulator, transmitted_beam_bits
 from .demodulator import JointDemodulator, DemodResult
-from .packet import Packet, PacketCodec, PacketError
 from .link import OtamLink, LinkReport, SnrBreakdown
+from .otam import OtamModulator, transmitted_beam_bits
+from .packet import Packet, PacketCodec, PacketError
 from .throughput import (
     CODING_MODES,
     CodingMode,
@@ -21,4 +21,21 @@ from .throughput import (
     goodput_bps,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "AskFskConfig",
+    "CODING_MODES",
+    "CodingMode",
+    "DemodResult",
+    "JointDemodulator",
+    "LinkReport",
+    "OtamLink",
+    "OtamModulator",
+    "Packet",
+    "PacketCodec",
+    "PacketError",
+    "RateAdapter",
+    "SnrBreakdown",
+    "frame_success_probability",
+    "goodput_bps",
+    "transmitted_beam_bits",
+]

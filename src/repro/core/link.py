@@ -38,6 +38,12 @@ from ..hardware.chains import AccessPointHardware
 from ..phy import ber as ber_theory
 from ..phy.waveform import Waveform
 from ..sim.placement import Placement
+from ..units import (
+    amplitude_to_db,
+    db_to_amplitude,
+    dbm_to_milliwatts,
+    milliwatts_to_dbm,
+)
 from .ask_fsk import AskFskConfig
 from .demodulator import DemodResult, JointDemodulator
 from .otam import OtamModulator
@@ -109,14 +115,14 @@ def _amplitude(level_dbm: float) -> float:
     """Field amplitude in sqrt(mW) units for a dBm level (0 for -inf)."""
     if level_dbm == float("-inf"):
         return 0.0
-    return 10.0 ** (level_dbm / 20.0)
+    return float(db_to_amplitude(level_dbm))
 
 
 def _level(amplitude: float) -> float:
     """Inverse of :func:`_amplitude`."""
     if amplitude <= 0.0:
         return float("-inf")
-    return 20.0 * math.log10(amplitude)
+    return float(amplitude_to_db(amplitude))
 
 
 def _fsk_drift_penalty_db(offset_hz: float, config: AskFskConfig) -> float:
@@ -136,7 +142,7 @@ def _fsk_drift_penalty_db(offset_hz: float, config: AskFskConfig) -> float:
     attenuation = abs(np.sinc(x))
     if attenuation <= 1e-9:
         return float("inf")
-    return -20.0 * math.log10(attenuation)
+    return -float(amplitude_to_db(attenuation))
 
 
 def perturb_breakdown(breakdown: SnrBreakdown,
@@ -178,10 +184,10 @@ def perturb_breakdown(breakdown: SnrBreakdown,
         level0 = level1
     elif disturbance.stuck_beam == 0:
         level1 = level0
-    noise_lin = 10.0 ** (breakdown.noise_dbm / 10.0)
+    noise_mw = float(dbm_to_milliwatts(breakdown.noise_dbm))
     if disturbance.has_interference:
-        noise_lin += 10.0 ** (disturbance.interference_dbm / 10.0)
-    noise_dbm = 10.0 * math.log10(noise_lin)
+        noise_mw += float(dbm_to_milliwatts(disturbance.interference_dbm))
+    noise_dbm = float(milliwatts_to_dbm(noise_mw))
     a1, a0 = _amplitude(level1), _amplitude(level0)
     ask_snr = _level(abs(a1 - a0)) - noise_dbm
     fsk_level = _level(math.sqrt((a1 * a1 + a0 * a0) / 2.0))
@@ -257,7 +263,7 @@ class OtamLink:
             return float("-inf")
         return (self.eirp_dbm + self.ap_gain_dbi
                 - self.implementation_loss_db
-                + 20.0 * math.log10(gain))
+                + float(amplitude_to_db(gain)))
 
     def snr_breakdown(self, channel: ChannelResponse | None = None,
                       bandwidth_hz: float = EVAL_NODE_CHANNEL_BANDWIDTH_HZ,

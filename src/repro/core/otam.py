@@ -23,6 +23,7 @@ from ..channel.multipath import ChannelResponse
 from ..hardware.switch import ADRF5020Switch
 from ..phy.bits import as_bit_array
 from ..phy.waveform import Waveform, two_level_waveform
+from ..units import db_to_amplitude
 from .ask_fsk import AskFskConfig
 
 __all__ = ["OtamModulator", "transmitted_beam_bits"]
@@ -75,9 +76,9 @@ class OtamModulator:
         (EIRP already includes it); only the leak-to-through ratio
         matters, so the through path is normalised to 1.
         """
-        through, leak = 1.0, 10.0 ** (
-            -(self.switch.isolation_db - self.switch.insertion_loss_db) / 20.0)
-        scale = 10.0 ** (self.eirp_dbm / 20.0)
+        through, leak = 1.0, float(db_to_amplitude(
+            -(self.switch.isolation_db - self.switch.insertion_loss_db)))
+        scale = float(db_to_amplitude(self.eirp_dbm))
         amp_one = scale * (channel.h1 * through + channel.h0 * leak)
         amp_zero = scale * (channel.h0 * through + channel.h1 * leak)
         return complex(amp_one), complex(amp_zero)
@@ -117,7 +118,7 @@ class OtamModulator:
         bits = transmitted_beam_bits(data_bits)
         if bits.size == 0:
             raise ValueError("cannot modulate an empty bit sequence")
-        scale = 10.0 ** (self.eirp_dbm / 20.0)
+        scale = float(db_to_amplitude(self.eirp_dbm))
         return two_level_waveform(
             bits,
             bit_rate_bps=self.config.bit_rate_bps,

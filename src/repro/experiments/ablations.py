@@ -20,18 +20,19 @@ from ..antenna.orthogonal import (
     ParametricBeam,
     measured_mmx_beams,
 )
-from ..channel.multipath import beam_channel_gain
-from ..channel.raytrace import trace_paths
 from ..antenna.phased_array import PhasedArray
 from ..baselines.beam_search import (
     ExhaustiveBeamSearch,
     FeedbackBeamSelection,
     HierarchicalBeamSearch,
 )
+from ..channel.multipath import beam_channel_gain
+from ..channel.raytrace import trace_paths
 from ..core.link import OtamLink
 from ..sim.environment import default_lab_room
 from ..sim.mobility import los_blocker_between
 from ..sim.placement import PlacementSampler
+from ..units import amplitude_to_db, linear_to_db
 from .report import format_table
 
 __all__ = [
@@ -98,8 +99,8 @@ def _coverage_angle_deg(beams: OrthogonalBeamPair,
     ``threshold_db`` of the pattern peak — the design's field of view."""
     grid = np.linspace(-np.pi, np.pi, 1441)
     best = np.maximum(
-        20.0 * np.log10(np.maximum(np.asarray(beams.field(1, grid)), 1e-9)),
-        20.0 * np.log10(np.maximum(np.asarray(beams.field(0, grid)), 1e-9)))
+        amplitude_to_db(np.maximum(np.asarray(beams.field(1, grid)), 1e-9)),
+        amplitude_to_db(np.maximum(np.asarray(beams.field(0, grid)), 1e-9)))
     step = np.degrees(grid[1] - grid[0])
     return float(np.count_nonzero(best >= threshold_db) * step)
 
@@ -340,7 +341,7 @@ def run_oracle_comparison(seed: int = 0, num_placements: int = 120,
     directions = array.codebook_directions_rad()
     # Precompute steered patterns once; they are placement-independent.
     steered = [array.steered_pattern(d) for d in directions]
-    array_peak_gain_dbi = 10.0 * np.log10(num_elements) + 5.0
+    array_peak_gain_dbi = float(linear_to_db(num_elements)) + 5.0
     mmx_peak_gain_dbi = 8.0
 
     advantages, otam_out, oracle_out = [], 0, 0
@@ -372,7 +373,7 @@ def run_oracle_comparison(seed: int = 0, num_placements: int = 120,
                 level = (link.eirp_dbm
                          + (array_peak_gain_dbi - mmx_peak_gain_dbi)
                          + link.ap_gain_dbi - link.implementation_loss_db
-                         + 20.0 * np.log10(abs(gain)))
+                         + float(amplitude_to_db(abs(gain))))
                 best_level = max(best_level, level)
         oracle_snr = best_level - breakdown.noise_dbm
         advantages.append(oracle_snr - otam_snr)

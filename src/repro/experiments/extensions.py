@@ -29,8 +29,8 @@ from ..baselines.spectrum import (
     iot_device_capacity,
 )
 from ..channel.pathloss import free_space_path_loss_db, oxygen_absorption_db
-from ..constants import ISM_24GHZ_BANDWIDTH_HZ, ISM_60GHZ_BANDWIDTH_HZ
 from ..channel.statistics import ChannelStats, characterize
+from ..constants import ISM_24GHZ_BANDWIDTH_HZ, ISM_60GHZ_BANDWIDTH_HZ
 from ..core.throughput import RateAdapter, frame_success_probability
 from ..network.mac import UplinkSimulator
 from ..network.network import MultiNodeNetwork

@@ -17,6 +17,7 @@ from ..antenna.patterns import (
     pattern_orthogonality_db,
     peak_direction_deg,
 )
+from ..units import amplitude_to_db
 from .report import format_table
 
 __all__ = ["Fig8Result", "run", "render"]
@@ -43,9 +44,8 @@ def run(num_points: int = 361) -> Fig8Result:
     theta = np.radians(az)
     # Use the pair's power-normalised fields so Beam 0's arms sit the
     # physical ~2-3 dB below Beam 1's peak, as in the measured figure.
-    with np.errstate(divide="ignore"):
-        beam1_db = 20.0 * np.log10(np.maximum(beams.field(1, theta), 1e-12))
-        beam0_db = 20.0 * np.log10(np.maximum(beams.field(0, theta), 1e-12))
+    beam1_db = amplitude_to_db(np.maximum(beams.field(1, theta), 1e-12))
+    beam0_db = amplitude_to_db(np.maximum(beams.field(0, theta), 1e-12))
     beam1_peak = peak_direction_deg(beams.beam1)
     beam0_peak = abs(peak_direction_deg(beams.beam0))
     return Fig8Result(

@@ -19,12 +19,13 @@ from ..core.ask_fsk import AskFskConfig
 from ..core.demodulator import JointDemodulator
 from ..core.link import OtamLink
 from ..core.otam import OtamModulator
+from ..phy.bits import random_bits
 from ..phy.preamble import default_preamble_bits
 from ..phy.waveform import Waveform
-from ..phy.bits import random_bits
 from ..sim.environment import default_lab_room
 from ..sim.mobility import los_blocker_between
 from ..sim.placement import PlacementSampler
+from ..units import db_to_amplitude, db_to_linear
 from .report import format_table
 
 __all__ = ["WaveformExample", "Fig9Result", "run", "render"]
@@ -71,7 +72,7 @@ def _example(label: str, channel: ChannelResponse, rng: np.random.Generator,
     # Noise set relative to the stronger level so both cases see the same
     # receiver floor.
     strong = max(abs(channel.h1), abs(channel.h0))
-    noise_power = strong**2 / 10.0 ** (snr_setup_db / 10.0)
+    noise_power = strong**2 / float(db_to_linear(snr_setup_db))
     noise = (np.sqrt(noise_power / 2)
              * (rng.standard_normal(len(clean))
                 + 1j * rng.standard_normal(len(clean))))
@@ -97,7 +98,8 @@ def run(seed: int = 0, num_placements: int = 300) -> Fig9Result:
 
     # (a) distinct beam losses: NLoS beam 15 dB below the LoS beam.
     distinct = ChannelResponse(h1=1.0 + 0.0j,
-                               h0=10.0 ** (-15.0 / 20.0) + 0.0j, paths=())
+                               h0=float(db_to_amplitude(-15.0)) + 0.0j,
+                               paths=())
     ask_case = _example("Fig 9a (decode via ASK)", distinct, rng, config)
 
     # (b) equal losses: amplitudes match, only frequency separates bits.

@@ -20,6 +20,7 @@ from ..core.link import OtamLink
 from ..sim.environment import Blocker, default_lab_room
 from ..sim.geometry import Point, angle_of, normalize_angle
 from ..sim.placement import Placement
+from ..units import db_to_linear, linear_to_db
 from .report import ascii_heatmap, format_table
 
 __all__ = ["Fig10Result", "run", "render"]
@@ -102,10 +103,10 @@ def run(seed: int = 0, grid_step_m: float = 0.5,
                 breakdown = OtamLink(placement=placement, room=room,
                                      frequency_hz=float(carrier)
                                      ).snr_breakdown()
-                wo_lin.append(10.0 ** (breakdown.no_otam_snr_db / 10.0))
-                w_lin.append(10.0 ** (breakdown.otam_snr_db / 10.0))
-            without[iy, ix] = 10.0 * np.log10(np.mean(wo_lin))
-            with_otam[iy, ix] = 10.0 * np.log10(np.mean(w_lin))
+                wo_lin.append(float(db_to_linear(breakdown.no_otam_snr_db)))
+                w_lin.append(float(db_to_linear(breakdown.otam_snr_db)))
+            without[iy, ix] = linear_to_db(np.mean(wo_lin))
+            with_otam[iy, ix] = linear_to_db(np.mean(w_lin))
     room.clear_blockers()
     return Fig10Result(x_m=xs, y_m=ys,
                        snr_without_otam_db=without,

@@ -18,6 +18,7 @@ import numpy as np
 from ..core.link import OtamLink
 from ..sim.environment import Room
 from ..sim.placement import PlacementSampler
+from ..units import db_to_linear, linear_to_db
 from .report import format_table
 
 __all__ = ["Fig12Result", "run", "render"]
@@ -79,8 +80,8 @@ def run(max_distance_m: float = 18.0, num_points: int = 12,
                 link = OtamLink(placement=placement, room=room,
                                 frequency_hz=float(carrier))
                 snrs_linear.append(
-                    10.0 ** (link.snr_breakdown().otam_snr_db / 10.0))
-            out.append(10.0 * np.log10(np.mean(snrs_linear)))
+                    float(db_to_linear(link.snr_breakdown().otam_snr_db)))
+            out.append(float(linear_to_db(np.mean(snrs_linear))))
     return Fig12Result(distances_m=distances,
                        snr_facing_db=np.asarray(facing),
                        snr_not_facing_db=np.asarray(not_facing))

@@ -29,4 +29,21 @@ from .processes import (
     VcoDriftProcess,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "ApCrashProcess",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "InterfererProcess",
+    "LinkDisturbance",
+    "NO_DISTURBANCE",
+    "NodeDropoutProcess",
+    "PersistentBlockerProcess",
+    "SCENARIOS",
+    "SideChannelOutageProcess",
+    "StuckBeamProcess",
+    "TransientBlockerProcess",
+    "VcoDriftProcess",
+    "scenario_injector",
+]

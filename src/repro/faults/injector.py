@@ -18,6 +18,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from ..units import dbm_to_milliwatts, milliwatts_to_dbm
 from .events import NO_DISTURBANCE, FaultEvent, LinkDisturbance
 from .processes import (
     InterfererProcess,
@@ -107,8 +108,8 @@ class FaultSchedule:
             elif event.kind == "interference":
                 if channel_index is None \
                         or event.channel_index == channel_index:
-                    interference_lin += 10.0 ** (event.severity / 10.0)
-        interference_dbm = (10.0 * np.log10(interference_lin)
+                    interference_lin += float(dbm_to_milliwatts(event.severity))
+        interference_dbm = (float(milliwatts_to_dbm(interference_lin))
                             if interference_lin > 0 else float("-inf"))
         return LinkDisturbance(
             beam1_extra_loss_db=beam1_loss,

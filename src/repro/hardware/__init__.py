@@ -9,17 +9,31 @@ draw and unit cost.  Assembled chains expose cascade noise figure and
 total power/cost, which feed Table 1 and the 11 nJ/bit microbenchmark.
 """
 
+from .chains import NodeHardware, AccessPointHardware
 from .components import RFComponent, ComponentSpec
-from .vco import HMC533VCO
-from .switch import ADRF5020Switch
 from .frontend import (
     HMC751LNA,
     HMC264SubharmonicMixer,
     ADF5356PLL,
     MicrostripFilter,
 )
-from .chains import NodeHardware, AccessPointHardware
-from .usrp import UsrpReceiver
 from .power import EnergyModel, energy_per_bit_j
+from .switch import ADRF5020Switch
+from .usrp import UsrpReceiver
+from .vco import HMC533VCO
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "ADF5356PLL",
+    "ADRF5020Switch",
+    "AccessPointHardware",
+    "ComponentSpec",
+    "EnergyModel",
+    "HMC264SubharmonicMixer",
+    "HMC533VCO",
+    "HMC751LNA",
+    "MicrostripFilter",
+    "NodeHardware",
+    "RFComponent",
+    "UsrpReceiver",
+    "energy_per_bit_j",
+]

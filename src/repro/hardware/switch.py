@@ -16,6 +16,7 @@ from ..constants import (
     SWITCH_ISOLATION_DB,
     SWITCH_MAX_RATE_HZ,
 )
+from ..units import db_to_amplitude
 from .components import ComponentSpec, RFComponent
 
 __all__ = ["ADRF5020Switch"]
@@ -64,8 +65,8 @@ class ADRF5020Switch(RFComponent):
         """
         if selected_port not in (0, 1):
             raise ValueError("selected_port must be 0 or 1")
-        through = 10.0 ** (-self.insertion_loss_db / 20.0)
-        leak = 10.0 ** (-self.isolation_db / 20.0)
+        through = float(db_to_amplitude(-self.insertion_loss_db))
+        leak = float(db_to_amplitude(-self.isolation_db))
         if selected_port == 0:
             return through, leak
         return leak, through

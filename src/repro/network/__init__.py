@@ -8,19 +8,44 @@ A hybrid-MIMO AP model is included as the power-hungry alternative the
 paper argues against.
 """
 
+from .deployment import Deployment, NodeAssignment, plan_access_points
 from .fdm import ChannelPlan, FdmAllocator, SpectrumExhausted
-from .tma import TimeModulatedArray, sequential_switching_schedule
-from .mimo import HybridMimoAp
-from .interference import InterferenceModel, sinr_db
 from .init_protocol import SideChannel, InitializationProtocol
+from .interference import InterferenceModel, sinr_db
+from .mac import PacketQueue, TdmaSchedule, UplinkSimulator, UplinkStats
+from .mimo import HybridMimoAp
+from .network import MultiNodeNetwork, NetworkSnapshot, NodeStats
 from .sdm_scheduler import (
     AngularSdmScheduler,
     RoundRobinScheduler,
     arrival_bearing_rad,
     assignment_min_separation_rad,
 )
-from .deployment import Deployment, NodeAssignment, plan_access_points
-from .mac import PacketQueue, TdmaSchedule, UplinkSimulator, UplinkStats
-from .network import MultiNodeNetwork, NetworkSnapshot, NodeStats
+from .tma import TimeModulatedArray, sequential_switching_schedule
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "AngularSdmScheduler",
+    "ChannelPlan",
+    "Deployment",
+    "FdmAllocator",
+    "HybridMimoAp",
+    "InitializationProtocol",
+    "InterferenceModel",
+    "MultiNodeNetwork",
+    "NetworkSnapshot",
+    "NodeAssignment",
+    "NodeStats",
+    "PacketQueue",
+    "RoundRobinScheduler",
+    "SideChannel",
+    "SpectrumExhausted",
+    "TdmaSchedule",
+    "TimeModulatedArray",
+    "UplinkSimulator",
+    "UplinkStats",
+    "arrival_bearing_rad",
+    "assignment_min_separation_rad",
+    "plan_access_points",
+    "sequential_switching_schedule",
+    "sinr_db",
+]

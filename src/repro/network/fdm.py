@@ -41,7 +41,7 @@ class ChannelPlan:
         """Upper channel edge."""
         return self.center_hz + self.bandwidth_hz / 2.0
 
-    def overlaps(self, other: "ChannelPlan") -> bool:
+    def overlaps(self, other: ChannelPlan) -> bool:
         """Whether two channels share spectrum."""
         return self.low_hz < other.high_hz and other.low_hz < self.high_hz
 

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..rng import fresh_rng
+
 __all__ = ["SideChannel", "InitializationProtocol"]
 
 
@@ -29,8 +31,7 @@ class SideChannel:
 
     delivery_ratio: float = 1.0
     latency_s: float = 0.005
-    rng: np.random.Generator = field(
-        default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=fresh_rng)
 
     def __post_init__(self):
         if not 0.0 < self.delivery_ratio <= 1.0:
@@ -40,7 +41,7 @@ class SideChannel:
         if self.rng is None:
             # A lossy channel must actually lose frames: an unseeded
             # generator beats the old silently-lossless behaviour.
-            self.rng = np.random.default_rng()
+            self.rng = fresh_rng()
 
     def deliver(self) -> bool:
         """Whether one control frame gets through."""

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..rng import ensure_rng
+
 __all__ = ["PacketQueue", "TdmaSchedule", "UplinkStats", "UplinkSimulator"]
 
 
@@ -172,7 +174,7 @@ class UplinkSimulator:
         self.p_success = frame_success_probability
         self.queue = queue or PacketQueue()
         self.max_retries = max_retries
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.transport = transport
 
     @property

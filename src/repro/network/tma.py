@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..units import wavelength
+from ..units import linear_to_db, wavelength
 
 __all__ = ["sequential_switching_schedule", "TimeModulatedArray"]
 
@@ -120,8 +120,7 @@ class TimeModulatedArray:
         coeffs = self.fourier_coefficients(m)  # (M, N)
         gains = coeffs @ self.steering_vector(theta_rad)
         power = np.abs(gains) ** 2
-        with np.errstate(divide="ignore"):
-            return 10.0 * np.log10(np.maximum(power, 1e-30))
+        return linear_to_db(np.maximum(power, 1e-30))
 
     def dominant_harmonic(self, theta_rad: float,
                           max_harmonic: int | None = None) -> int:

@@ -7,9 +7,17 @@ Fig. 3(b) plus the network-side bookkeeping (channel allocation,
 per-node demodulators).
 """
 
-from .controller import DigitalController, TransmitJob
-from .node import MmxNode
 from .access_point import MmxAccessPoint, NodeRegistration
 from .channelizer import ChannelSlice, Channelizer
+from .controller import DigitalController, TransmitJob
+from .node import MmxNode
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "ChannelSlice",
+    "Channelizer",
+    "DigitalController",
+    "MmxAccessPoint",
+    "MmxNode",
+    "NodeRegistration",
+    "TransmitJob",
+]

@@ -6,15 +6,6 @@ closed-form error-rate theory, channel coding, and noise/link-budget math.
 The mmX core in :mod:`repro.core` composes these pieces.
 """
 
-from .bits import (
-    bits_to_bytes,
-    bytes_to_bits,
-    bit_errors,
-    bit_error_rate,
-    random_bits,
-    pack_uint,
-    unpack_uint,
-)
 from .ber import (
     qfunc,
     qfunc_inv,
@@ -25,30 +16,15 @@ from .ber import (
     ber_bpsk,
     snr_db_for_target_ber,
 )
-from .snr import (
-    thermal_noise_dbm,
-    noise_figure_cascade_db,
-    LinkBudget,
-    estimate_snr_two_level,
-    estimate_snr_from_evm,
+from .bits import (
+    bits_to_bytes,
+    bytes_to_bits,
+    bit_errors,
+    bit_error_rate,
+    random_bits,
+    pack_uint,
+    unpack_uint,
 )
-from .waveform import (
-    Waveform,
-    carrier,
-    ook_waveform,
-    two_level_waveform,
-    add_awgn,
-    awgn_noise,
-)
-from .filters import (
-    moving_average,
-    fir_lowpass,
-    apply_fir,
-    decimate,
-    exponential_smooth,
-)
-from .envelope import envelope_detect, automatic_gain_control, threshold_levels
-from .goertzel import goertzel_power, goertzel_block_powers
 from .coding import (
     crc16_ccitt,
     RepetitionCode,
@@ -56,12 +32,34 @@ from .coding import (
     interleave,
     deinterleave,
 )
+from .envelope import envelope_detect, automatic_gain_control, threshold_levels
+from .filters import (
+    moving_average,
+    fir_lowpass,
+    apply_fir,
+    decimate,
+    exponential_smooth,
+)
+from .goertzel import goertzel_power, goertzel_block_powers
 from .impairments import (
     apply_cfo,
     apply_phase_noise,
     apply_iq_imbalance,
     quantize,
     cfo_tolerance_hz,
+)
+from .preamble import (
+    BARKER13,
+    default_preamble_bits,
+    correlate_preamble,
+    locate_preamble,
+)
+from .snr import (
+    thermal_noise_dbm,
+    noise_figure_cascade_db,
+    LinkBudget,
+    estimate_snr_two_level,
+    estimate_snr_from_evm,
 )
 from .spectrum import (
     adjacent_channel_leakage_db,
@@ -71,11 +69,72 @@ from .spectrum import (
     power_spectral_density,
 )
 from .timing import estimate_timing_offset, align_to_bits, timing_metric
-from .preamble import (
-    BARKER13,
-    default_preamble_bits,
-    correlate_preamble,
-    locate_preamble,
+from .waveform import (
+    Waveform,
+    carrier,
+    ook_waveform,
+    two_level_waveform,
+    add_awgn,
+    awgn_noise,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "BARKER13",
+    "HammingCode74",
+    "LinkBudget",
+    "RepetitionCode",
+    "Waveform",
+    "add_awgn",
+    "adjacent_channel_leakage_db",
+    "align_to_bits",
+    "apply_cfo",
+    "apply_fir",
+    "apply_iq_imbalance",
+    "apply_phase_noise",
+    "automatic_gain_control",
+    "awgn_noise",
+    "ber_ask_coherent",
+    "ber_bpsk",
+    "ber_fsk_noncoherent",
+    "ber_ook_coherent",
+    "ber_ook_noncoherent",
+    "bit_error_rate",
+    "bit_errors",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "carrier",
+    "cfo_tolerance_hz",
+    "check_emission_mask",
+    "correlate_preamble",
+    "crc16_ccitt",
+    "decimate",
+    "default_preamble_bits",
+    "deinterleave",
+    "envelope_detect",
+    "estimate_snr_from_evm",
+    "estimate_snr_two_level",
+    "estimate_timing_offset",
+    "exponential_smooth",
+    "fir_lowpass",
+    "goertzel_block_powers",
+    "goertzel_power",
+    "interleave",
+    "locate_preamble",
+    "moving_average",
+    "noise_figure_cascade_db",
+    "occupied_bandwidth_hz",
+    "ook_waveform",
+    "pack_uint",
+    "power_in_band_fraction",
+    "power_spectral_density",
+    "qfunc",
+    "qfunc_inv",
+    "quantize",
+    "random_bits",
+    "snr_db_for_target_ber",
+    "thermal_noise_dbm",
+    "threshold_levels",
+    "timing_metric",
+    "two_level_waveform",
+    "unpack_uint",
+]

@@ -17,7 +17,10 @@ power.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 from scipy import special
+
+from ..units import FloatArray, db_to_linear, linear_to_db
 
 __all__ = [
     "qfunc",
@@ -25,6 +28,7 @@ __all__ = [
     "ber_ook_coherent",
     "ber_ook_noncoherent",
     "ber_ask_coherent",
+    "ber_ask_table",
     "ber_fsk_noncoherent",
     "ber_fsk_coherent",
     "ber_bpsk",
@@ -32,22 +36,24 @@ __all__ = [
 ]
 
 
-def qfunc(x):
+def qfunc(x: npt.ArrayLike) -> FloatArray:
     """Gaussian tail probability Q(x) = P[N(0,1) > x]."""
-    return 0.5 * special.erfc(np.asarray(x, dtype=float) / np.sqrt(2.0))
+    tail: FloatArray = special.erfc(
+        np.asarray(x, dtype=np.float64) / np.sqrt(2.0))
+    return 0.5 * tail
 
 
-def qfunc_inv(p):
+def qfunc_inv(p: npt.ArrayLike) -> FloatArray:
     """Inverse of :func:`qfunc`; valid for 0 < p < 1."""
-    p = np.asarray(p, dtype=float)
-    return np.sqrt(2.0) * special.erfcinv(2.0 * p)
+    inv: FloatArray = special.erfcinv(2.0 * np.asarray(p, dtype=np.float64))
+    return np.sqrt(2.0) * inv
 
 
-def _snr_linear(snr_db):
-    return np.power(10.0, np.asarray(snr_db, dtype=float) / 10.0)
+def _snr_linear(snr_db: npt.ArrayLike) -> FloatArray:
+    return db_to_linear(snr_db)
 
 
-def ber_ook_coherent(snr_db):
+def ber_ook_coherent(snr_db: npt.ArrayLike) -> FloatArray:
     """BER of coherently detected on-off keying.
 
     With average SNR ``gamma`` the two levels are 0 and ``sqrt(2 gamma)``
@@ -61,7 +67,7 @@ def ber_ook_coherent(snr_db):
     return qfunc(np.sqrt(gamma / 2.0))
 
 
-def ber_ook_noncoherent(snr_db):
+def ber_ook_noncoherent(snr_db: npt.ArrayLike) -> FloatArray:
     """BER of envelope-detected (non-coherent) OOK.
 
     High-SNR approximation ``0.5 * exp(-gamma / 4)`` combined with the
@@ -70,12 +76,14 @@ def ber_ook_noncoherent(snr_db):
     tables.
     """
     gamma = _snr_linear(snr_db)
-    noncoh = 0.5 * np.exp(-gamma / 4.0)
+    noncoh: FloatArray = 0.5 * np.exp(-gamma / 4.0)
     # Envelope detection can never beat coherent detection.
-    return np.maximum(noncoh, ber_ook_coherent(snr_db))
+    floor: FloatArray = np.maximum(noncoh, ber_ook_coherent(snr_db))
+    return floor
 
 
-def ber_ask_coherent(levels_snr_db, separation_fraction: float = 1.0):
+def ber_ask_coherent(levels_snr_db: npt.ArrayLike,
+                     separation_fraction: float = 1.0) -> FloatArray:
     """BER for binary ASK where the two levels are set by the channel.
 
     mmX's OTAM produces ASK whose level distance is the *difference of the
@@ -97,7 +105,7 @@ def ber_ask_coherent(levels_snr_db, separation_fraction: float = 1.0):
     return qfunc(np.sqrt(gamma / 2.0))
 
 
-def ber_ask_table(snr_db):
+def ber_ask_table(snr_db: npt.ArrayLike) -> FloatArray:
     """The 'standard BER table based on the ASK modulation' of §9.3.
 
     The paper substitutes measured SNR into the OOK curves of Tang et
@@ -111,19 +119,20 @@ def ber_ask_table(snr_db):
     return qfunc(np.sqrt(gamma))
 
 
-def ber_fsk_noncoherent(snr_db):
+def ber_fsk_noncoherent(snr_db: npt.ArrayLike) -> FloatArray:
     """BER of non-coherent binary FSK: ``0.5 * exp(-gamma / 2)``."""
     gamma = _snr_linear(snr_db)
-    return 0.5 * np.exp(-gamma / 2.0)
+    decay: FloatArray = np.exp(-gamma / 2.0)
+    return 0.5 * decay
 
 
-def ber_fsk_coherent(snr_db):
+def ber_fsk_coherent(snr_db: npt.ArrayLike) -> FloatArray:
     """BER of coherent binary FSK: ``Q(sqrt(gamma))``."""
     gamma = _snr_linear(snr_db)
     return qfunc(np.sqrt(gamma))
 
 
-def ber_bpsk(snr_db):
+def ber_bpsk(snr_db: npt.ArrayLike) -> FloatArray:
     """BER of coherent BPSK: ``Q(sqrt(2 gamma))`` — the usual reference."""
     gamma = _snr_linear(snr_db)
     return qfunc(np.sqrt(2.0 * gamma))
@@ -138,11 +147,11 @@ def snr_db_for_target_ber(target_ber: float, modulation: str = "ook") -> float:
     if not 0.0 < target_ber < 0.5:
         raise ValueError("target BER must be in (0, 0.5)")
     if modulation == "ook":
-        gamma = 2.0 * qfunc_inv(target_ber) ** 2
+        gamma = 2.0 * float(qfunc_inv(target_ber)) ** 2
     elif modulation == "fsk":
-        gamma = -2.0 * np.log(2.0 * target_ber)
+        gamma = -2.0 * float(np.log(2.0 * target_ber))
     elif modulation == "bpsk":
-        gamma = qfunc_inv(target_ber) ** 2 / 2.0
+        gamma = float(qfunc_inv(target_ber)) ** 2 / 2.0
     else:
         raise ValueError(f"unknown modulation {modulation!r}")
-    return float(10.0 * np.log10(gamma))
+    return float(linear_to_db(gamma))

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import ensure_rng
+
 __all__ = [
     "as_bit_array",
     "bits_to_bytes",
@@ -70,7 +72,7 @@ def random_bits(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
     """Generate ``n`` uniform random bits."""
     if n < 0:
         raise ValueError("bit count must be non-negative")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     return rng.integers(0, 2, size=n, dtype=np.uint8)
 
 

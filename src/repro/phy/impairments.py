@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import ensure_rng
+from ..units import db_to_amplitude
 from .waveform import Waveform
 
 __all__ = [
@@ -48,7 +50,7 @@ def apply_phase_noise(wave: Waveform, linewidth_hz: float,
         raise ValueError("linewidth cannot be negative")
     if linewidth_hz == 0:
         return Waveform(wave.samples.copy(), wave.sample_rate_hz)
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     sigma = np.sqrt(2.0 * np.pi * linewidth_hz / wave.sample_rate_hz)
     phase = np.cumsum(sigma * rng.standard_normal(len(wave)))
     return Waveform(wave.samples * np.exp(1j * phase), wave.sample_rate_hz)
@@ -87,7 +89,7 @@ def apply_iq_imbalance(wave: Waveform, gain_db: float = 0.5,
     two-tone FSK lands on the *other* tone's frequency, so the tests
     check the demodulator survives typical (fractional-dB) imbalance.
     """
-    g = 10.0 ** (gain_db / 20.0)
+    g = float(db_to_amplitude(gain_db))
     phi = np.radians(phase_deg)
     mu = 0.5 * (1.0 + g * np.exp(1j * phi))
     nu = 0.5 * (1.0 - g * np.exp(1j * phi))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..constants import THERMAL_NOISE_DBM_PER_HZ
 from ..units import db_to_linear, linear_to_db
@@ -28,7 +29,8 @@ def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> floa
     """Thermal noise power [dBm] in ``bandwidth_hz`` plus a noise figure."""
     if bandwidth_hz <= 0:
         raise ValueError("bandwidth must be positive")
-    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
+    return (THERMAL_NOISE_DBM_PER_HZ + float(linear_to_db(bandwidth_hz))
+            + noise_figure_db)
 
 
 def noise_figure_cascade_db(stages: list[tuple[float, float]]) -> float:
@@ -42,12 +44,12 @@ def noise_figure_cascade_db(stages: list[tuple[float, float]]) -> float:
     total_f = 0.0
     cumulative_gain = 1.0
     for i, (gain_db, nf_db) in enumerate(stages):
-        f = db_to_linear(nf_db)
+        f = float(db_to_linear(nf_db))
         if i == 0:
             total_f = f
         else:
             total_f += (f - 1.0) / cumulative_gain
-        cumulative_gain *= db_to_linear(gain_db)
+        cumulative_gain *= float(db_to_linear(gain_db))
     return float(linear_to_db(total_f))
 
 
@@ -90,7 +92,8 @@ class LinkBudget:
                 - self.noise_floor_dbm())
 
 
-def estimate_snr_two_level(samples: np.ndarray, decisions: np.ndarray) -> float:
+def estimate_snr_two_level(samples: npt.ArrayLike,
+                           decisions: npt.ArrayLike) -> float:
     """Estimate SNR [dB] of a two-level (ASK) signal from decided symbols.
 
     Groups envelope ``samples`` by the hard ``decisions`` made on them and
@@ -98,12 +101,12 @@ def estimate_snr_two_level(samples: np.ndarray, decisions: np.ndarray) -> float:
     SNR of the binary detector.  Returns ``-inf`` when a level is missing or
     the signal is degenerate.
     """
-    samples = np.asarray(samples, dtype=float)
-    decisions = np.asarray(decisions)
-    if samples.shape != decisions.shape:
+    envelope = np.asarray(samples, dtype=np.float64)
+    hard = np.asarray(decisions)
+    if envelope.shape != hard.shape:
         raise ValueError("samples and decisions must have the same shape")
-    ones = samples[decisions == 1]
-    zeros = samples[decisions == 0]
+    ones = envelope[hard == 1]
+    zeros = envelope[hard == 0]
     if ones.size < 2 or zeros.size < 2:
         return float("-inf")
     distance = abs(float(ones.mean()) - float(zeros.mean()))
@@ -113,14 +116,15 @@ def estimate_snr_two_level(samples: np.ndarray, decisions: np.ndarray) -> float:
     return float(linear_to_db(distance**2 / (2.0 * noise_var)))
 
 
-def estimate_snr_from_evm(reference: np.ndarray, received: np.ndarray) -> float:
+def estimate_snr_from_evm(reference: npt.ArrayLike,
+                          received: npt.ArrayLike) -> float:
     """SNR [dB] from error-vector magnitude against a known reference."""
-    reference = np.asarray(reference)
-    received = np.asarray(received)
-    if reference.shape != received.shape:
+    ref = np.asarray(reference)
+    rx = np.asarray(received)
+    if ref.shape != rx.shape:
         raise ValueError("shape mismatch between reference and received")
-    signal_power = float(np.mean(np.abs(reference) ** 2))
-    error_power = float(np.mean(np.abs(received - reference) ** 2))
+    signal_power = float(np.mean(np.abs(ref) ** 2))
+    error_power = float(np.mean(np.abs(rx - ref) ** 2))
     if error_power == 0.0:
         return float("inf")
     if signal_power == 0.0:

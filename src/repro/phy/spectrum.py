@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import signal as sp_signal
 
+from ..units import linear_to_db
 from .waveform import Waveform
 
 __all__ = [
@@ -96,7 +97,7 @@ def adjacent_channel_leakage_db(wave: Waveform,
     worst_neighbour = max(upper, lower, 1e-15)
     if in_channel <= 0.0:
         return float("-inf")
-    return float(10.0 * np.log10(in_channel / worst_neighbour))
+    return float(linear_to_db(in_channel / worst_neighbour))
 
 
 def check_emission_mask(wave: Waveform, mask: list[tuple[float, float]],
@@ -126,7 +127,7 @@ def check_emission_mask(wave: Waveform, mask: list[tuple[float, float]],
     for offset, max_rel_db in sorted(mask):
         for sign in (+1.0, -1.0):
             level = band_power(sign * offset)
-            rel_db = 10.0 * np.log10(max(level, 1e-30) / reference)
+            rel_db = float(linear_to_db(max(level, 1e-30) / reference))
             if rel_db > -abs(max_rel_db):
                 return False
     return True

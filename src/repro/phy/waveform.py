@@ -13,6 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..rng import ensure_rng
+from ..units import db_to_linear
+
 __all__ = [
     "Waveform",
     "carrier",
@@ -56,11 +59,11 @@ class Waveform:
             return 0.0
         return float(np.mean(np.abs(self.samples) ** 2))
 
-    def scaled(self, amplitude: float) -> "Waveform":
+    def scaled(self, amplitude: float) -> Waveform:
         """Return a copy scaled by a (possibly complex) amplitude factor."""
         return Waveform(self.samples * amplitude, self.sample_rate_hz)
 
-    def concatenated(self, other: "Waveform") -> "Waveform":
+    def concatenated(self, other: Waveform) -> Waveform:
         """Concatenate two waveforms at identical sample rates."""
         if other.sample_rate_hz != self.sample_rate_hz:
             raise ValueError("cannot concatenate waveforms at different rates")
@@ -142,7 +145,7 @@ def awgn_noise(n: int, noise_power: float,
         raise ValueError("sample count must be non-negative")
     if noise_power < 0:
         raise ValueError("noise power must be non-negative")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     sigma = np.sqrt(noise_power / 2.0)
     return sigma * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
 
@@ -159,6 +162,6 @@ def add_awgn(wave: Waveform, snr_db: float,
     power = wave.power() if reference_power is None else reference_power
     if power <= 0:
         raise ValueError("cannot set SNR for a zero-power waveform")
-    noise_power = power / 10.0 ** (snr_db / 10.0)
+    noise_power = power / float(db_to_linear(snr_db))
     noise = awgn_noise(len(wave), noise_power, rng)
     return Waveform(wave.samples + noise, wave.sample_rate_hz)

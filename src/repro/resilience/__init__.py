@@ -21,4 +21,16 @@ from .health import (
 )
 from .supervisor import LinkSupervisor, RecoveryAction, SupervisorDecision
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "ChaosResult",
+    "ChaosSimulation",
+    "DEGRADED",
+    "EwmaEstimator",
+    "HEALTHY",
+    "LinkHealthMonitor",
+    "LinkHealthReport",
+    "LinkSupervisor",
+    "OUTAGE",
+    "RecoveryAction",
+    "SupervisorDecision",
+]

@@ -35,6 +35,8 @@ import numpy as np
 from ..core.throughput import CODING_MODES, CodingMode, \
     frame_success_probability
 from ..phy import ber as ber_theory
+from ..rng import ensure_rng
+from ..units import linear_to_db
 from .health import HEALTHY, OUTAGE, LinkHealthMonitor
 
 __all__ = [
@@ -124,7 +126,7 @@ class LinkSupervisor:
         self.max_backoff_s = max_backoff_s
         self.noise_jump_db = noise_jump_db
         self.recovery_hold_s = recovery_hold_s
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         # Mutable link-management state.
         self.initialized = True
         self.actions: list[RecoveryAction] = []
@@ -259,7 +261,7 @@ class LinkSupervisor:
         if state != HEALTHY:
             self._healthy_since = None
 
-        rate_bonus_db = 10.0 * np.log10(1.0 / self._rate_fraction)
+        rate_bonus_db = float(linear_to_db(1.0 / self._rate_fraction))
         branch_snrs = {"ask": breakdown.ask_snr_db + rate_bonus_db,
                        "fsk": breakdown.fsk_snr_db + rate_bonus_db}
 

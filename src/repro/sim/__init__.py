@@ -8,6 +8,7 @@ a 2-D room whose walls act as mmWave reflectors, circular human blockers
 Monte-Carlo runner.
 """
 
+from .environment import Wall, Blocker, Room, default_lab_room
 from .geometry import (
     Point,
     Segment,
@@ -17,10 +18,30 @@ from .geometry import (
     angle_of,
     normalize_angle,
 )
-from .environment import Wall, Blocker, Room, default_lab_room
 from .mobility import RandomWaypoint, LinearCrossing, WalkingBlocker
 from .placement import PlacementSampler, Placement
 from .runner import MonteCarloRunner, TrialResult
 from .timeline import LinkTrace, TimelineSimulator
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "Blocker",
+    "LinearCrossing",
+    "LinkTrace",
+    "MonteCarloRunner",
+    "Placement",
+    "PlacementSampler",
+    "Point",
+    "RandomWaypoint",
+    "Room",
+    "Segment",
+    "TimelineSimulator",
+    "TrialResult",
+    "WalkingBlocker",
+    "Wall",
+    "angle_of",
+    "default_lab_room",
+    "normalize_angle",
+    "reflect_point_across_line",
+    "segment_circle_intersects",
+    "segment_intersection",
+]

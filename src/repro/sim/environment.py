@@ -79,7 +79,7 @@ class Blocker:
         """Whether this blocker intersects a propagation leg."""
         return segment_circle_intersects(leg, self.position, self.radius_m)
 
-    def moved_to(self, position: Point) -> "Blocker":
+    def moved_to(self, position: Point) -> Blocker:
         """Copy of this blocker at a new position (for mobility models)."""
         return replace(self, position=position)
 
@@ -96,7 +96,7 @@ class Room:
     @classmethod
     def rectangular(cls, width_m: float = EVAL_ROOM_WIDTH_M,
                     length_m: float = EVAL_ROOM_LENGTH_M,
-                    reflection_loss_db: float = 7.0) -> "Room":
+                    reflection_loss_db: float = 7.0) -> Room:
         """Axis-aligned rectangular room with four reflective walls.
 
         The room occupies ``[0, width] x [0, length]`` — x across the

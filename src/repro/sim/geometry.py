@@ -35,13 +35,13 @@ class Point:
         yield self.x
         yield self.y
 
-    def __add__(self, other: "Point") -> "Point":
+    def __add__(self, other: Point) -> Point:
         return Point(self.x + other.x, self.y + other.y)
 
-    def __sub__(self, other: "Point") -> "Point":
+    def __sub__(self, other: Point) -> Point:
         return Point(self.x - other.x, self.y - other.y)
 
-    def scaled(self, k: float) -> "Point":
+    def scaled(self, k: float) -> Point:
         """Scalar multiple of the position vector."""
         return Point(self.x * k, self.y * k)
 

@@ -32,4 +32,22 @@ from .framing import MAX_SEQ, MAX_WINDOW, FrameError, TransportFrame, \
 from .policy import AdaptiveRetransmission
 from .rto import RtoEstimator
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "AdaptiveRetransmission",
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FrameError",
+    "HALF_OPEN",
+    "MAX_SEQ",
+    "MAX_WINDOW",
+    "OPEN",
+    "ReliableLink",
+    "RtoEstimator",
+    "SegmentState",
+    "SelectiveRepeatReceiver",
+    "SelectiveRepeatSender",
+    "TransferStats",
+    "TransportFrame",
+    "seq_distance",
+]

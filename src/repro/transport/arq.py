@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..rng import fresh_rng
 from .framing import MAX_SEQ, MAX_WINDOW, TransportFrame, seq_distance
 from .rto import RtoEstimator
 
@@ -53,7 +54,7 @@ class SelectiveRepeatSender:
 
     def __init__(self, window: int = 16,
                  rto: RtoEstimator | None = None,
-                 max_transmissions: int = 16):
+                 max_transmissions: int = 16) -> None:
         if not 1 <= window <= MAX_WINDOW:
             raise ValueError(f"window must be in [1, {MAX_WINDOW}]")
         if max_transmissions < 1:
@@ -159,7 +160,7 @@ class SelectiveRepeatSender:
 class SelectiveRepeatReceiver:
     """The receiving half: reorder buffer + cumulative/SACK generation."""
 
-    def __init__(self, window: int = 16):
+    def __init__(self, window: int = 16) -> None:
         if not 1 <= window <= MAX_WINDOW:
             raise ValueError(f"window must be in [1, {MAX_WINDOW}]")
         self.window = window
@@ -240,10 +241,9 @@ class ReliableLink:
     rtt_s: float = 0.02
     window: int = 16
     max_transmissions: int = 16
-    rng: np.random.Generator = field(
-        default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=fresh_rng)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:
             raise ValueError("loss probability must be in [0, 1)")
         if self.rtt_s <= 0:

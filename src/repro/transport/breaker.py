@@ -31,7 +31,7 @@ class CircuitBreaker:
     """Consecutive-failure circuit breaker with a half-open probe state."""
 
     def __init__(self, failure_threshold: int = 3,
-                 reset_timeout_s: float = 1.0):
+                 reset_timeout_s: float = 1.0) -> None:
         if failure_threshold < 1:
             raise ValueError("need at least one failure to trip")
         if reset_timeout_s <= 0:
@@ -55,7 +55,9 @@ class CircuitBreaker:
         is counted.
         """
         if self.state == OPEN:
-            if now_s - self._opened_at_s >= self.reset_timeout_s:
+            opened_at = self._opened_at_s if self._opened_at_s is not None \
+                else now_s
+            if now_s - opened_at >= self.reset_timeout_s:
                 self.state = HALF_OPEN
                 return True
             self.rejected_calls += 1
@@ -64,7 +66,7 @@ class CircuitBreaker:
 
     def seconds_until_retry(self, now_s: float) -> float:
         """How long until an open circuit will admit a probe (0 if now)."""
-        if self.state != OPEN:
+        if self.state != OPEN or self._opened_at_s is None:
             return 0.0
         return max(0.0, self._opened_at_s + self.reset_timeout_s - now_s)
 
@@ -90,7 +92,7 @@ class CircuitBreaker:
             self.state = OPEN
             self._opened_at_s = now_s
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int | str]:
         """Counters for reporting: trips, rejections, successes, failures."""
         return {
             "state": self.state,

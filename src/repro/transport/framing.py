@@ -63,7 +63,7 @@ class TransportFrame:
     payload: bytes = b""
     sack_bitmap: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in ("data", "ack"):
             raise ValueError("kind must be 'data' or 'ack'")
         if not 0 <= self.sequence < MAX_SEQ:
@@ -96,7 +96,7 @@ class TransportFrame:
         return body + _CRC.pack(crc16_ccitt(body))
 
     @classmethod
-    def decode(cls, data: bytes) -> "TransportFrame":
+    def decode(cls, data: bytes) -> TransportFrame:
         """Recover a frame; raises :class:`FrameError` on corruption."""
         if len(data) < _HEADER.size + _CRC.size:
             raise FrameError("frame shorter than header + CRC")
@@ -117,12 +117,12 @@ class TransportFrame:
                    payload=data[_HEADER.size:end], sack_bitmap=sack)
 
     @classmethod
-    def data_frame(cls, sequence: int, payload: bytes) -> "TransportFrame":
+    def data_frame(cls, sequence: int, payload: bytes) -> TransportFrame:
         """Convenience constructor for a data segment."""
         return cls(kind="data", sequence=sequence, payload=payload)
 
     @classmethod
     def ack_frame(cls, cumulative: int, sack_bitmap: int = 0
-                  ) -> "TransportFrame":
+                  ) -> TransportFrame:
         """Convenience constructor for a (selective) ACK."""
         return cls(kind="ack", sequence=cumulative, sack_bitmap=sack_bitmap)

@@ -43,7 +43,7 @@ class AdaptiveRetransmission:
     max_transmissions: int = 8
     ack_delay_s: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_transmissions < 1:
             raise ValueError("need at least one transmission")
         if self.ack_delay_s < 0:

@@ -30,7 +30,7 @@ class RtoEstimator:
                  max_rto_s: float = 8.0,
                  alpha: float = 1.0 / 8.0,
                  beta: float = 1.0 / 4.0,
-                 k: float = 4.0):
+                 k: float = 4.0) -> None:
         if initial_rto_s <= 0:
             raise ValueError("initial RTO must be positive")
         if not 0 < min_rto_s <= max_rto_s:
@@ -78,7 +78,7 @@ class RtoEstimator:
         if rtt_s < 0:
             raise ValueError("RTT cannot be negative")
         rtt_s = float(rtt_s)
-        if self._srtt_s is None:
+        if self._srtt_s is None or self._rttvar_s is None:
             # RFC 6298 initial step: SRTT = R, RTTVAR = R/2.
             self._srtt_s = rtt_s
             self._rttvar_s = rtt_s / 2.0

@@ -3,71 +3,104 @@
 All RF engineering here is done in two currencies: linear power ratios and
 decibels.  These helpers are deliberately tiny and vectorised so every other
 module can share one, well-tested implementation.
+
+This module is the repo's **single conversion authority**: reprolint's
+``UNITS002`` rule forbids hand-rolled ``10 ** (x / 10)`` / ``log10``
+conversions anywhere else, so every dB<->linear crossing in the codebase
+goes through (and is tested through) these functions.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
+    "FloatArray",
     "db_to_linear",
     "linear_to_db",
     "dbm_to_watts",
     "watts_to_dbm",
+    "dbm_to_milliwatts",
+    "milliwatts_to_dbm",
     "dbm_to_db_ratio",
     "amplitude_to_db",
     "db_to_amplitude",
     "wavelength",
 ]
 
+FloatArray = npt.NDArray[np.float64]
+"""The float64 array type every converter returns."""
 
-def db_to_linear(db):
+
+def _as_float_array(values: npt.ArrayLike) -> FloatArray:
+    return np.asarray(values, dtype=np.float64)
+
+
+def db_to_linear(db: npt.ArrayLike) -> FloatArray:
     """Convert a power ratio in dB to a linear ratio."""
-    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+    return 10.0 ** (_as_float_array(db) / 10.0)
 
 
-def linear_to_db(ratio):
+def linear_to_db(ratio: npt.ArrayLike) -> FloatArray:
     """Convert a linear power ratio to dB.
 
     Ratios of exactly zero map to ``-inf`` without warnings, which lets
     callers express "no signal at all" naturally.
     """
-    ratio = np.asarray(ratio, dtype=float)
     with np.errstate(divide="ignore"):
-        return 10.0 * np.log10(ratio)
+        log_ratio: FloatArray = np.log10(_as_float_array(ratio))
+    return 10.0 * log_ratio
 
 
-def dbm_to_watts(dbm):
+def dbm_to_watts(dbm: npt.ArrayLike) -> FloatArray:
     """Convert power in dBm to watts."""
-    return np.power(10.0, (np.asarray(dbm, dtype=float) - 30.0) / 10.0)
+    return 10.0 ** ((_as_float_array(dbm) - 30.0) / 10.0)
 
 
-def watts_to_dbm(watts):
+def watts_to_dbm(watts: npt.ArrayLike) -> FloatArray:
     """Convert power in watts to dBm."""
-    watts = np.asarray(watts, dtype=float)
     with np.errstate(divide="ignore"):
-        return 10.0 * np.log10(watts) + 30.0
+        log_watts: FloatArray = np.log10(_as_float_array(watts))
+    return 10.0 * log_watts + 30.0
 
 
-def dbm_to_db_ratio(dbm_a, dbm_b):
+def dbm_to_milliwatts(dbm: npt.ArrayLike) -> FloatArray:
+    """Convert power in dBm to milliwatts (the natural linear dBm unit).
+
+    Most of the stack carries absolute powers in dBm and sums them in
+    "linear dBm-referenced" units — i.e. milliwatts — before converting
+    back; this pair makes that round trip explicit.
+    """
+    return 10.0 ** (_as_float_array(dbm) / 10.0)
+
+
+def milliwatts_to_dbm(milliwatts: npt.ArrayLike) -> FloatArray:
+    """Convert power in milliwatts to dBm (``-inf`` for zero power)."""
+    with np.errstate(divide="ignore"):
+        log_mw: FloatArray = np.log10(_as_float_array(milliwatts))
+    return 10.0 * log_mw
+
+
+def dbm_to_db_ratio(dbm_a: npt.ArrayLike, dbm_b: npt.ArrayLike) -> FloatArray:
     """Power ratio ``a / b`` in dB for two absolute powers in dBm."""
-    return np.asarray(dbm_a, dtype=float) - np.asarray(dbm_b, dtype=float)
+    return _as_float_array(dbm_a) - _as_float_array(dbm_b)
 
 
-def amplitude_to_db(amplitude):
+def amplitude_to_db(amplitude: npt.ArrayLike) -> FloatArray:
     """Convert a voltage/field amplitude ratio to dB (20 log10)."""
-    amplitude = np.asarray(amplitude, dtype=float)
     with np.errstate(divide="ignore"):
-        return 20.0 * np.log10(np.abs(amplitude))
+        log_amp: FloatArray = np.log10(np.abs(_as_float_array(amplitude)))
+    return 20.0 * log_amp
 
 
-def db_to_amplitude(db):
+def db_to_amplitude(db: npt.ArrayLike) -> FloatArray:
     """Convert dB to a voltage/field amplitude ratio (inverse 20 log10)."""
-    return np.power(10.0, np.asarray(db, dtype=float) / 20.0)
+    return 10.0 ** (_as_float_array(db) / 20.0)
 
 
-def wavelength(frequency_hz):
+def wavelength(frequency_hz: npt.ArrayLike) -> FloatArray:
     """Free-space wavelength [m] for a carrier frequency [Hz]."""
     from .constants import SPEED_OF_LIGHT
 
-    return SPEED_OF_LIGHT / np.asarray(frequency_hz, dtype=float)
+    return SPEED_OF_LIGHT / _as_float_array(frequency_hz)

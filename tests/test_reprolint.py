@@ -1,0 +1,139 @@
+"""Self-tests for tools/reprolint: every rule, both polarities, plumbing.
+
+The fixture corpus lives under ``tools/reprolint/tests/fixtures``; each
+rule has at least one file designed to trip it and one designed not to.
+These tests pin the contract the CI gate relies on: findings where
+expected, silence where expected, exit codes, JSON output, and the
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOLS_DIR = REPO_ROOT / "tools"
+FIXTURES = TOOLS_DIR / "reprolint" / "tests" / "fixtures"
+
+sys.path.insert(0, str(TOOLS_DIR))
+
+from reprolint import lint_file, lint_paths  # noqa: E402
+from reprolint.cli import main as reprolint_main  # noqa: E402
+from reprolint.registry import all_rules  # noqa: E402
+
+
+def codes_in(path: Path, **kwargs) -> set[str]:
+    """The set of rule codes reported for one fixture file."""
+    return {f.code for f in lint_file(path, **kwargs)}
+
+
+class TestRulePack:
+    def test_all_six_rules_registered(self):
+        assert {"UNITS001", "UNITS002", "RNG001", "DET001", "API001",
+                "EXC001"} <= set(all_rules())
+
+    @pytest.mark.parametrize("code,bad,ok", [
+        ("UNITS001", "units001_bad.py", "units001_ok.py"),
+        ("UNITS002", "units002_bad.py", "units002_ok.py"),
+        ("RNG001", "rng001_bad.py", "rng001_ok.py"),
+        ("DET001", "det001_bad.py", "det001_ok.py"),
+        ("API001", "api001_bad/__init__.py", "api001_ok/__init__.py"),
+        ("EXC001", "exc001_bad.py", "exc001_ok.py"),
+    ])
+    def test_positive_and_negative_fixture(self, code, bad, ok):
+        assert code in codes_in(FIXTURES / bad), f"{code} missed {bad}"
+        assert code not in codes_in(FIXTURES / ok), f"{code} false-fired {ok}"
+
+    def test_units001_counts_every_mixing_expression(self):
+        findings = [f for f in lint_file(FIXTURES / "units001_bad.py")
+                    if f.code == "UNITS001"]
+        assert len(findings) == 4
+
+    def test_units002_exempts_the_conversion_authority(self):
+        units_py = REPO_ROOT / "src" / "repro" / "units.py"
+        assert "UNITS002" not in codes_in(units_py)
+
+    def test_rng001_flags_default_factory_reference(self):
+        messages = [f.message for f in lint_file(FIXTURES / "rng001_bad.py")]
+        assert any("factory" in m for m in messages)
+
+    def test_api001_reports_dynamic_all(self):
+        findings = lint_file(FIXTURES / "api001_dynamic" / "__init__.py")
+        assert any("not a literal list" in f.message for f in findings)
+
+    def test_exc001_allows_observe_and_reraise(self):
+        assert "EXC001" not in codes_in(FIXTURES / "exc001_ok.py")
+
+    def test_parse_errors_become_findings(self):
+        assert codes_in(FIXTURES / "parse_error.py") == {"PARSE001"}
+
+
+class TestSuppression:
+    def test_line_directive_silences_one_line_only(self):
+        findings = [f for f in lint_file(FIXTURES / "suppressed.py")
+                    if f.code == "UNITS002"]
+        assert len(findings) == 1  # only the undirected line fires
+
+    def test_file_directive_silences_the_whole_file(self):
+        assert "DET001" not in codes_in(FIXTURES / "suppressed.py")
+
+
+class TestSelection:
+    def test_select_restricts_to_named_rules(self):
+        only = codes_in(FIXTURES / "det001_bad.py", select=["UNITS001"])
+        assert only == set()
+
+    def test_ignore_removes_named_rules(self):
+        remaining = codes_in(FIXTURES / "det001_bad.py", ignore=["DET001"])
+        assert "DET001" not in remaining
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            lint_file(FIXTURES / "det001_bad.py", select=["NOPE999"])
+
+
+class TestCliContract:
+    def test_fixture_corpus_exits_nonzero(self, capsys):
+        assert reprolint_main([str(FIXTURES)]) == 1
+        assert "findings" in capsys.readouterr().out
+
+    def test_clean_tree_exits_zero(self, capsys):
+        clean = FIXTURES / "api001_ok"
+        assert reprolint_main([str(clean)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_repo_src_is_clean(self):
+        findings = lint_paths([REPO_ROOT / "src"])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_json_output_round_trips(self, capsys):
+        reprolint_main([str(FIXTURES / "exc001_bad.py"),
+                        "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert all({"code", "message", "path", "line", "col"} <= set(item)
+                   for item in payload)
+        assert {item["code"] for item in payload} == {"EXC001"}
+
+    def test_usage_error_exits_two(self, capsys):
+        assert reprolint_main([str(FIXTURES), "--select", "NOPE999"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("UNITS001", "UNITS002", "RNG001", "DET001",
+                     "API001", "EXC001"):
+            assert code in out
+
+    def test_directory_invocation_via_subprocess(self):
+        """`python tools/reprolint <clean dir>` is the documented entry."""
+        result = subprocess.run(
+            [sys.executable, str(TOOLS_DIR / "reprolint"),
+             str(FIXTURES / "api001_ok")],
+            capture_output=True, text=True, cwd=REPO_ROOT, timeout=60)
+        assert result.returncode == 0, result.stdout + result.stderr

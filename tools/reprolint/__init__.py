@@ -1,0 +1,44 @@
+"""reprolint — an AST-based domain linter for the mmX reproduction.
+
+Generic linters check style; *reprolint* checks the invariants this
+codebase's correctness actually hangs on:
+
+* dB and linear power must never be mixed in arithmetic (``UNITS001``)
+  and every conversion must go through :mod:`repro.units` (``UNITS002``);
+* every random draw must be attributable to a seed (``RNG001``) and no
+  simulation path may consult wall-clock time or the stdlib ``random``
+  module (``DET001``);
+* package façades must export exactly what exists (``API001``);
+* exception handlers must not swallow injected faults (``EXC001``).
+
+Usage::
+
+    python tools/reprolint [paths...] [--format human|json]
+    python -m repro lint [paths...]        # same thing, via the repro CLI
+
+Per-line suppression::
+
+    noise = legacy_noise_db + power_watts  # reprolint: disable=UNITS001
+
+Whole-file suppression (anywhere in the file)::
+
+    # reprolint: disable-file=DET001
+
+See ``docs/static-analysis.md`` for the rule catalogue and how to add a
+rule.
+"""
+
+from .core import Finding, lint_file, lint_paths
+from .registry import all_rules, get_rule, register
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "all_rules",
+    "get_rule",
+    "register",
+    "__version__",
+]

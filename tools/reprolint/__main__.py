@@ -1,0 +1,19 @@
+"""Make ``python tools/reprolint`` and ``python -m reprolint`` both work.
+
+When invoked as ``python tools/reprolint``, this file runs as a bare
+script (no package context), so it puts ``tools/`` on ``sys.path`` and
+re-imports itself as the ``reprolint`` package before delegating.
+"""
+
+import sys
+
+if __package__:
+    from .cli import main
+else:  # `python tools/reprolint` — bootstrap the package import
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""reprolint command line: discovery, selection, output, exit codes.
+
+Exit codes follow the convention CI gates expect:
+
+* ``0`` — no findings (the tree is clean);
+* ``1`` — at least one finding;
+* ``2`` — usage error (unknown rule code, missing path, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .core import lint_paths
+from .registry import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The reprolint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=("AST-based domain linter for the mmX reproduction: "
+                     "unit discipline, RNG/determinism discipline, façade "
+                     "exports, exception hygiene."))
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="output format")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _split_codes(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    return [c.strip() for c in text.split(",") if c.strip()]
+
+
+def _print_rules() -> None:
+    for code, rule in sorted(all_rules().items()):
+        print(f"{code}  {rule.name}")
+        print(f"    {rule.description}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        findings = lint_paths(args.paths,
+                              select=_split_codes(args.select),
+                              ignore=_split_codes(args.ignore))
+    except (KeyError, FileNotFoundError) as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            count = len(findings)
+            print(f"reprolint: {count} finding{'s' if count != 1 else ''}")
+    return 1 if findings else 0

@@ -1,0 +1,146 @@
+"""Linter engine: file discovery, parsing, suppression, rule dispatch.
+
+The engine is deliberately small: it parses each file once, hands the
+shared AST to every selected rule, and filters the findings through the
+suppression comments before reporting.  All rule logic lives in
+:mod:`reprolint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .registry import all_rules
+
+__all__ = ["Finding", "LintContext", "Suppressions",
+           "lint_file", "lint_paths", "collect_files"]
+
+PARSE_ERROR_CODE = "PARSE001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: CODE message`` human line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {"code": self.code, "message": self.message,
+                "path": self.path, "line": self.line, "col": self.col}
+
+
+class Suppressions:
+    """Per-line and per-file ``# reprolint: disable=...`` directives."""
+
+    def __init__(self, source: str):
+        self.line_codes: dict[int, set[str]] = {}
+        self.file_codes: set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            kind, codes_text = match.groups()
+            codes = {c.strip().upper() for c in codes_text.split(",")}
+            if kind == "disable-file":
+                self.file_codes |= codes
+            else:
+                self.line_codes.setdefault(lineno, set()).update(codes)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a finding is silenced by a directive."""
+        if {"ALL", finding.code} & self.file_codes:
+            return True
+        at_line = self.line_codes.get(finding.line, set())
+        return bool({"ALL", finding.code} & at_line)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may need beyond the AST itself."""
+
+    path: Path
+    source: str
+
+    @property
+    def filename(self) -> str:
+        """Base name of the file under lint (e.g. ``units.py``)."""
+        return self.path.name
+
+    def finding(self, code: str, message: str, node: ast.AST) -> Finding:
+        """Construct a finding anchored at an AST node."""
+        return Finding(code=code, message=message, path=str(self.path),
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0))
+
+
+def _selected_rules(select: Iterable[str] | None,
+                    ignore: Iterable[str] | None) -> list:
+    rules = all_rules()
+    chosen = set(rules) if select is None else {c.upper() for c in select}
+    chosen -= {c.upper() for c in (ignore or ())}
+    unknown = chosen - set(rules)
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [rules[code]() for code in sorted(chosen)]
+
+
+def lint_file(path: Path | str,
+              select: Iterable[str] | None = None,
+              ignore: Iterable[str] | None = None) -> list[Finding]:
+    """Run the (selected) rule pack over one file."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(code=PARSE_ERROR_CODE,
+                        message=f"could not parse file: {exc.msg}",
+                        path=str(path), line=exc.lineno or 1,
+                        col=exc.offset or 0)]
+    suppressions = Suppressions(source)
+    ctx = LintContext(path=path, source=source)
+    findings: list[Finding] = []
+    for rule in _selected_rules(select, ignore):
+        findings.extend(rule.check(tree, ctx))
+    return sorted((f for f in findings if not suppressions.suppressed(f)),
+                  key=lambda f: (f.line, f.col, f.code))
+
+
+def collect_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of .py files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py")
+                              if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def lint_paths(paths: Iterable[Path | str],
+               select: Iterable[str] | None = None,
+               ignore: Iterable[str] | None = None) -> list[Finding]:
+    """Lint every .py file reachable from ``paths``."""
+    findings: list[Finding] = []
+    for path in collect_files(paths):
+        findings.extend(lint_file(path, select=select, ignore=ignore))
+    return findings

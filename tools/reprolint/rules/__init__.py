@@ -1,0 +1,10 @@
+"""The reprolint rule pack.
+
+Importing this package registers every rule; add a new module here (and
+import it below) to extend the pack.  See ``docs/static-analysis.md``
+for the rule-authoring walkthrough.
+"""
+
+from . import api, determinism, exceptions, rng, units
+
+__all__ = ["api", "determinism", "exceptions", "rng", "units"]

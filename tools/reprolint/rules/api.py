@@ -1,0 +1,187 @@
+"""API001: package façades must export exactly what exists.
+
+The ``repro.*`` packages re-export their submodules' public names from
+``__init__.py``.  Drift creeps in three ways: a façade ``__all__``
+computed dynamically (``dir()`` tricks also leak submodule names), a
+façade exporting a name nothing binds, and a re-import of a name the
+submodule no longer defines (or no longer declares public).  This rule
+cross-checks ``__init__.py`` files against the submodules they import
+from, on disk, at lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from ..core import Finding, LintContext
+from ..registry import register
+
+
+def _literal_all(node: ast.AST) -> list[str] | None:
+    """The string elements of a literal list/tuple, else None."""
+    if isinstance(node, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in node.elts):
+        return [e.value for e in node.elts]
+    return None
+
+
+def _find_all_assignment(tree: ast.Module) -> ast.Assign | ast.AugAssign | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets):
+            return node
+        if isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name) and node.target.id == "__all__":
+            return node
+    return None
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (imports, defs, assignments)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            names |= _top_level_bindings(node)  # type: ignore[arg-type]
+    return names
+
+
+def _resolve_relative(path: Path, level: int, module: str | None
+                      ) -> Path | None:
+    """Directory/file a relative import refers to, if inside the tree."""
+    base = path.parent
+    for _ in range(level - 1):
+        base = base.parent
+    if module:
+        for part in module.split("."):
+            base = base / part
+    if (base.with_suffix(".py")).is_file():
+        return base.with_suffix(".py")
+    if (base / "__init__.py").is_file():
+        return base / "__init__.py"
+    return None
+
+
+def _module_exports(module_file: Path) -> tuple[set[str] | None, set[str]]:
+    """(static __all__ or None, top-level bindings) of a module file."""
+    try:
+        tree = ast.parse(module_file.read_text(encoding="utf-8"),
+                         filename=str(module_file))
+    except (OSError, SyntaxError):
+        return None, set()
+    declared: set[str] | None = None
+    assignment = _find_all_assignment(tree)
+    if assignment is not None and isinstance(assignment, ast.Assign):
+        literal = _literal_all(assignment.value)
+        if literal is not None:
+            declared = set(literal)
+    bindings = _top_level_bindings(tree)
+    # Sibling submodules are importable attributes of a package too.
+    if module_file.name == "__init__.py":
+        for sibling in module_file.parent.iterdir():
+            if sibling.suffix == ".py" and sibling.name != "__init__.py":
+                bindings.add(sibling.stem)
+            elif (sibling / "__init__.py").is_file():
+                bindings.add(sibling.name)
+    return declared, bindings
+
+
+@register
+class FacadeExportDrift:
+    """API001: ``__init__`` façade exports drifted from the submodules."""
+
+    code = "API001"
+    name = "facade-export-drift"
+    description = ("package __init__ exports a name that does not exist, "
+                   "is not public in its submodule, or uses a dynamic "
+                   "__all__ that cannot be audited")
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        """Cross-check an ``__init__.py`` against its submodules."""
+        if ctx.filename != "__init__.py":
+            return
+        assert isinstance(tree, ast.Module)
+        assignment = _find_all_assignment(tree)
+        exported: list[str] = []
+        if assignment is not None:
+            literal = (_literal_all(assignment.value)
+                       if isinstance(assignment, ast.Assign) else None)
+            if literal is None:
+                yield ctx.finding(
+                    self.code,
+                    "__all__ is not a literal list of strings; dynamic "
+                    "exports cannot be audited (and dir()-based lists "
+                    "leak submodule names)",
+                    assignment)
+            else:
+                exported = literal
+        bindings = _top_level_bindings(tree)
+        for name in exported:
+            if name not in bindings and name != "__version__":
+                node = assignment if assignment is not None else tree
+                yield ctx.finding(
+                    self.code,
+                    f"__all__ exports {name!r} but nothing in this "
+                    "module binds it",
+                    node)
+        for node in tree.body:
+            if not isinstance(node, ast.ImportFrom) or node.level == 0:
+                continue
+            target = _resolve_relative(ctx.path, node.level, node.module)
+            if target is None:
+                continue
+            if node.module is None:
+                # `from . import sub`: each alias must be a submodule.
+                for alias in node.names:
+                    if _resolve_relative(ctx.path, node.level,
+                                         alias.name) is None:
+                        yield ctx.finding(
+                            self.code,
+                            f"re-export of submodule {alias.name!r} that "
+                            "does not exist",
+                            node)
+                continue
+            declared, sub_bindings = _module_exports(target)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if declared is not None and alias.name not in declared \
+                        and alias.name not in sub_bindings:
+                    yield ctx.finding(
+                        self.code,
+                        f"{alias.name!r} imported from .{node.module} "
+                        "exists nowhere in that module",
+                        node)
+                elif declared is not None and alias.name not in declared:
+                    yield ctx.finding(
+                        self.code,
+                        f"{alias.name!r} imported from .{node.module} is "
+                        "not in that module's __all__ (private API leak)",
+                        node)
+                elif declared is None and alias.name not in sub_bindings:
+                    yield ctx.finding(
+                        self.code,
+                        f"{alias.name!r} imported from .{node.module} "
+                        "does not exist there",
+                        node)

@@ -1,0 +1,66 @@
+"""EXC001: overbroad exception handlers swallow injected faults.
+
+The fault-injection layer (PR 1-2) communicates through exceptions —
+``SpectrumExhausted``, ``CircuitOpenError``, ``CheckpointError``.  A
+``except:`` or ``except Exception:`` between the injector and the
+assertion quietly converts "the fault propagated" into "nothing
+happened", which is the worst possible failure mode for a chaos gate.
+A broad handler that *re-raises* (bare ``raise``) is fine: it observes
+without swallowing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, LintContext
+from ..registry import register
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(node: ast.AST | None) -> str | None:
+    """The overbroad class name an except clause matches, if any."""
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in BROAD_NAMES:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_name(element)
+            if name:
+                return name
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``."""
+    return any(isinstance(n, ast.Raise) and n.exc is None
+               for body_node in handler.body
+               for n in ast.walk(body_node))
+
+
+@register
+class OverbroadExcept:
+    """EXC001: ``except:`` / ``except Exception:`` without a re-raise."""
+
+    code = "EXC001"
+    name = "overbroad-except"
+    description = ("bare or Exception-wide except clause that would "
+                   "swallow injected faults; catch the specific error")
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        """Yield a finding per swallowing broad handler."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            name = _broad_name(node.type)
+            if name and not _reraises(node):
+                yield ctx.finding(
+                    self.code,
+                    f"{name} swallows injected faults silently; catch the "
+                    "specific exception (or re-raise)",
+                    node)

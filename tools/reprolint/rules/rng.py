@@ -1,0 +1,103 @@
+"""RNG001: every random draw must be attributable to a seed.
+
+Every fault/chaos result in this repo depends on bit-reproducible
+simulations; one ``np.random.default_rng()`` (no seed) or legacy
+global-state call (``np.random.normal`` etc.) breaks replay silently.
+The sanctioned escape hatch is :func:`repro.rng.fresh_rng`, which
+honours the ``REPRO_SEED`` environment variable and is the *only*
+place an unseeded generator may be constructed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, LintContext
+from ..registry import register
+
+#: Legacy numpy global-state API: any call is a determinism leak.
+GLOBAL_STATE_CALLS = frozenset({
+    "seed", "get_state", "set_state", "rand", "randn", "randint",
+    "random", "random_sample", "ranf", "sample", "choice", "shuffle",
+    "permutation", "normal", "uniform", "standard_normal", "poisson",
+    "exponential", "binomial", "beta", "gamma", "bytes",
+})
+
+#: The one module allowed to construct unseeded generators.
+RNG_AUTHORITY_FILES = frozenset({"rng.py"})
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """Matches the ``np.random`` / ``numpy.random`` attribute chain."""
+    return (isinstance(node, ast.Attribute) and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy"))
+
+
+def _unseeded_call(node: ast.Call) -> bool:
+    """Whether a default_rng(...) call provides no usable seed."""
+    if node.keywords:
+        return any(kw.arg == "seed" and isinstance(kw.value, ast.Constant)
+                   and kw.value.value is None for kw in node.keywords)
+    if not node.args:
+        return True
+    first = node.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+@register
+class UnseededRandomness:
+    """RNG001: global-state numpy RNG use, or an unseeded generator."""
+
+    code = "RNG001"
+    name = "unseeded-randomness"
+    description = ("np.random global-state call or unseeded "
+                   "default_rng(); route through repro.rng.fresh_rng")
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        """Yield a finding per determinism-breaking RNG construction."""
+        if ctx.filename in RNG_AUTHORITY_FILES:
+            return
+        call_funcs = {id(n.func) for n in ast.walk(tree)
+                      if isinstance(n, ast.Call)}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and _is_np_random(func.value)):
+                    if func.attr in GLOBAL_STATE_CALLS:
+                        yield ctx.finding(
+                            self.code,
+                            f"np.random.{func.attr} uses hidden global "
+                            "state; draw from an explicitly seeded "
+                            "np.random.Generator instead",
+                            node)
+                    elif func.attr == "default_rng" and _unseeded_call(node):
+                        yield ctx.finding(
+                            self.code,
+                            "unseeded np.random.default_rng(); thread a "
+                            "seeded Generator through, or use "
+                            "repro.rng.fresh_rng()",
+                            node)
+                elif (isinstance(func, ast.Name)
+                        and func.id == "default_rng"
+                        and _unseeded_call(node)):
+                    yield ctx.finding(
+                        self.code,
+                        "unseeded default_rng(); thread a seeded Generator "
+                        "through, or use repro.rng.fresh_rng()",
+                        node)
+            elif (isinstance(node, ast.Attribute)
+                    and node.attr == "default_rng"
+                    and _is_np_random(node.value)
+                    and id(node) not in call_funcs):
+                # A bare reference (e.g. field(default_factory=
+                # np.random.default_rng)) can only ever construct an
+                # unseeded generator.
+                yield ctx.finding(
+                    self.code,
+                    "reference to np.random.default_rng used as a factory "
+                    "constructs unseeded generators; use "
+                    "repro.rng.fresh_rng",
+                    node)

@@ -1,0 +1,181 @@
+"""Dimensional-discipline rules: keep dB and linear power apart.
+
+OTAM's whole premise is per-beam gain differences of 10-20 dB; one
+``snr_db + power_watts`` slip corrupts every downstream benchmark
+trajectory silently.  Two rules enforce the discipline:
+
+* ``UNITS001`` — arithmetic that mixes dB-suffixed identifiers with
+  linear-suffixed ones without passing through a :mod:`repro.units`
+  converter.
+* ``UNITS002`` — hand-rolled conversions (``10 ** (x / 10)``,
+  ``10 * log10(x)``, ``np.power(10, ...)``) anywhere outside
+  ``units.py``, the single conversion authority.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, LintContext
+from ..registry import register
+
+DB_NAMES = frozenset({"db", "dbm", "dbi"})
+DB_SUFFIXES = ("_db", "_dbm", "_dbi")
+LINEAR_NAMES = frozenset({"watts", "linear", "lin", "mw", "milliwatts"})
+LINEAR_SUFFIXES = ("_watts", "_linear", "_lin", "_mw", "_milliwatts")
+
+#: Calls through these names launder units: their result is trusted.
+CONVERTER_NAMES = frozenset({
+    "db_to_linear", "linear_to_db", "dbm_to_watts", "watts_to_dbm",
+    "dbm_to_milliwatts", "milliwatts_to_dbm", "dbm_to_db_ratio",
+    "amplitude_to_db", "db_to_amplitude",
+})
+
+#: Files allowed to hand-roll conversions (the conversion authority).
+CONVERSION_AUTHORITY_FILES = frozenset({"units.py"})
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div)
+
+
+def unit_class(identifier: str) -> str | None:
+    """Classify an identifier as ``"db"``, ``"linear"`` or neither."""
+    name = identifier.lower()
+    if name in DB_NAMES or name.endswith(DB_SUFFIXES):
+        return "db"
+    if name in LINEAR_NAMES or name.endswith(LINEAR_SUFFIXES):
+        return "linear"
+    return None
+
+
+def _operand_classes(node: ast.AST) -> set[str]:
+    """Unit classes reachable in an operand without crossing a call.
+
+    A :class:`ast.Call` is a trust boundary: whatever units its
+    arguments carried, the callee defines the units of the result, so
+    the walk does not descend into calls (that is exactly how passing a
+    value through ``repro.units`` converters silences UNITS001).
+    """
+    classes: set[str] = set()
+    if isinstance(node, ast.Name):
+        cls = unit_class(node.id)
+        if cls:
+            classes.add(cls)
+    elif isinstance(node, ast.Attribute):
+        cls = unit_class(node.attr)
+        if cls:
+            classes.add(cls)
+    elif isinstance(node, ast.BinOp):
+        classes |= _operand_classes(node.left)
+        classes |= _operand_classes(node.right)
+    elif isinstance(node, ast.UnaryOp):
+        classes |= _operand_classes(node.operand)
+    elif isinstance(node, ast.Subscript):
+        classes |= _operand_classes(node.value)
+    elif isinstance(node, ast.Starred):
+        classes |= _operand_classes(node.value)
+    return classes
+
+
+@register
+class MixedUnitArithmetic:
+    """UNITS001: dB-named and linear-named values mixed in arithmetic."""
+
+    code = "UNITS001"
+    name = "mixed-unit-arithmetic"
+    description = ("Arithmetic mixes *_db/*_dbm identifiers with "
+                   "*_watts/*_linear ones without a repro.units converter")
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        """Yield a finding for every mixed-unit arithmetic expression."""
+        for node in ast.walk(tree):
+            pairs: list[tuple[ast.AST, ast.AST]] = []
+            if (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, _ARITH_OPS)):
+                pairs.append((node.left, node.right))
+            elif (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, _ARITH_OPS)):
+                pairs.append((node.target, node.value))
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                pairs.extend(zip(operands, operands[1:]))
+            for left, right in pairs:
+                left_cls = _operand_classes(left)
+                right_cls = _operand_classes(right)
+                if (left_cls | right_cls) >= {"db", "linear"} \
+                        and left_cls != right_cls:
+                    yield ctx.finding(
+                        self.code,
+                        "dB-scale and linear-scale values mixed in "
+                        "arithmetic; convert through repro.units first",
+                        node)
+                    break  # one finding per expression is enough
+
+
+def _is_log10_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "log10"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "log10"
+    return False
+
+
+def _is_ten(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)
+            and float(node.value) == 10.0)
+
+
+def _contains_log10(node: ast.AST) -> bool:
+    """Whether a multiplicative subtree contains a log10 call."""
+    if _is_log10_call(node):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        return _contains_log10(node.left) or _contains_log10(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _contains_log10(node.operand)
+    return False
+
+
+@register
+class HandRolledConversion:
+    """UNITS002: dB conversions hand-rolled outside ``units.py``."""
+
+    code = "UNITS002"
+    name = "hand-rolled-conversion"
+    description = ("10**(x/10) / 10*log10(x) written outside repro.units, "
+                   "the single conversion authority")
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        """Yield a finding per hand-rolled dB<->linear conversion."""
+        if ctx.filename in CONVERSION_AUTHORITY_FILES:
+            return
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow)
+                    and _is_ten(node.left)):
+                yield ctx.finding(
+                    self.code,
+                    "hand-rolled dB->linear conversion (10 ** ...); use "
+                    "repro.units (db_to_linear / db_to_amplitude / "
+                    "dbm_to_milliwatts)",
+                    node)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "power"
+                    and node.args and _is_ten(node.args[0])):
+                yield ctx.finding(
+                    self.code,
+                    "hand-rolled dB->linear conversion (np.power(10, ...)); "
+                    "use repro.units",
+                    node)
+            elif _is_log10_call(node):
+                yield ctx.finding(
+                    self.code,
+                    "hand-rolled linear->dB conversion (log10); use "
+                    "repro.units (linear_to_db / amplitude_to_db / "
+                    "milliwatts_to_dbm)",
+                    node)

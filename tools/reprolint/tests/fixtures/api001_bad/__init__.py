@@ -1,0 +1,6 @@
+"""Fixture: API001 positives — a façade that drifted from its submodule."""
+
+from .helpers import exists, missing_name, semi_private
+from . import ghost_module
+
+__all__ = ["exists", "missing_name", "unbound_export"]

@@ -1,0 +1,13 @@
+"""Submodule for the API001 positive fixture."""
+
+__all__ = ["exists"]
+
+
+def exists() -> int:
+    """The one genuinely public name."""
+    return 1
+
+
+def semi_private() -> int:
+    """Defined, but deliberately not in __all__."""
+    return 2

@@ -1,0 +1,5 @@
+"""Fixture: API001 positive — the unauditable dir()-comprehension façade."""
+
+from .helpers import exists
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,8 @@
+"""Submodule for the dynamic-__all__ fixture."""
+
+__all__ = ["exists"]
+
+
+def exists() -> int:
+    """A real export."""
+    return 1

@@ -1,0 +1,5 @@
+"""Fixture: API001 negative — a façade in sync with its submodule."""
+
+from .helpers import exists, also_exists
+
+__all__ = ["exists", "also_exists"]

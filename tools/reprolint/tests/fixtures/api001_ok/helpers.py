@@ -1,0 +1,13 @@
+"""Submodule for the API001 negative fixture."""
+
+__all__ = ["exists", "also_exists"]
+
+
+def exists() -> int:
+    """A real export."""
+    return 1
+
+
+def also_exists() -> int:
+    """Another real export."""
+    return 2

@@ -1,0 +1,17 @@
+"""Fixture: DET001 positives — wall clocks and stdlib random."""
+
+import datetime
+import random
+import time
+
+from random import choice
+
+jitter = random.random() + 0.5
+
+started_at = time.time()
+
+tick = time.perf_counter()
+
+stamp = datetime.datetime.now()
+
+pick = choice([1, 2, 3])

@@ -1,0 +1,14 @@
+"""Fixture: DET001 negatives — explicit simulated time, seeded draws."""
+
+import numpy as np
+
+
+def step(now_s: float, dt_s: float, rng: np.random.Generator) -> float:
+    """Simulated time is threaded through as an argument."""
+    jitter = rng.uniform(0.0, dt_s)
+    return now_s + dt_s + jitter
+
+
+def airtime(payload_bytes: int, rate_bps: float) -> float:
+    """Arithmetic on simulated durations is not a wall-clock read."""
+    return payload_bytes * 8.0 / rate_bps

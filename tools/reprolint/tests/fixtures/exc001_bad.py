@@ -1,0 +1,25 @@
+"""Fixture: EXC001 positives — handlers that swallow injected faults."""
+
+
+def swallow_everything(op):
+    """The classic chaos-test killer."""
+    try:
+        return op()
+    except:  # noqa: E722
+        return None
+
+
+def swallow_exception(op):
+    """Exception-wide catch without a re-raise."""
+    try:
+        return op()
+    except Exception:
+        return None
+
+
+def swallow_in_tuple(op):
+    """Hiding BaseException inside a tuple does not help."""
+    try:
+        return op()
+    except (ValueError, BaseException):
+        return None

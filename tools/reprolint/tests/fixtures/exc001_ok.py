@@ -1,0 +1,20 @@
+"""Fixture: EXC001 negatives — specific catches, or observe-and-reraise."""
+
+import logging
+
+
+def catch_specific(op):
+    """Catching the exact fault type is the intended pattern."""
+    try:
+        return op()
+    except KeyError:
+        return None
+
+
+def observe_and_reraise(op):
+    """A broad handler that re-raises observes without swallowing."""
+    try:
+        return op()
+    except Exception:
+        logging.getLogger(__name__).exception("op failed")
+        raise

@@ -1,0 +1,4 @@
+"""Fixture: unparsable files surface as PARSE001 findings."""
+
+def broken(:
+    pass

@@ -1,0 +1,21 @@
+"""Fixture: RNG001 positives — global state and unseeded generators."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+np.random.seed(0)                      # legacy global-state seeding
+
+draws = np.random.normal(size=8)       # legacy global-state draw
+
+rng = np.random.default_rng()          # unseeded generator
+
+rng_none = np.random.default_rng(None)  # explicitly unseeded
+
+
+@dataclass
+class Config:
+    """Unseeded generator hidden behind a default factory."""
+
+    rng: np.random.Generator = field(
+        default_factory=np.random.default_rng)

@@ -1,0 +1,25 @@
+"""Fixture: RNG001 negatives — seeded or sanctioned randomness."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rng import fresh_rng
+
+rng = np.random.default_rng(42)
+
+child = np.random.default_rng(np.random.SeedSequence(7))
+
+sanctioned = fresh_rng()
+
+
+def run(seed: int) -> np.random.Generator:
+    """Seeds may be variables; only literal None / missing is flagged."""
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class Config:
+    """Sanctioned factory: repro.rng honours REPRO_SEED."""
+
+    rng: np.random.Generator = field(default_factory=fresh_rng)

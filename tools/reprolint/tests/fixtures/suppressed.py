@@ -1,0 +1,10 @@
+"""Fixture: suppression directives silence findings line- and file-wide."""
+# reprolint: disable-file=DET001
+
+import random
+
+lin = 10.0 ** (1.2 / 10.0)  # reprolint: disable=UNITS002
+
+jitter = random.random()    # silenced by the disable-file directive above
+
+loud = 10.0 ** (3.0 / 10.0)  # NOT suppressed: UNITS002 still fires here

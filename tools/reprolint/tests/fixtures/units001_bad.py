@@ -1,0 +1,14 @@
+"""Fixture: UNITS001 positives — dB and linear mixed in arithmetic."""
+
+snr_db = 15.0
+power_watts = 0.001
+noise_linear = 1e-9
+margin_dbm = -60.0
+
+budget = snr_db + power_watts          # add: dB + watts
+
+scaled = margin_dbm * noise_linear     # mult: dBm * linear
+
+snr_db += power_watts                  # augmented assign
+
+clipped = snr_db > noise_linear        # comparison across unit systems

@@ -1,0 +1,15 @@
+"""Fixture: UNITS001 negatives — consistent units, or laundered ones."""
+
+from repro.units import db_to_linear, linear_to_db
+
+snr_db = 15.0
+gain_db = 3.0
+power_watts = 0.001
+noise_linear = 1e-9
+
+total_db = snr_db + gain_db                      # dB + dB is fine
+total_linear = power_watts / noise_linear        # linear / linear is fine
+
+# Passing through a repro.units converter launders the unit class.
+combined = db_to_linear(snr_db) * noise_linear
+back_db = linear_to_db(power_watts / noise_linear) + gain_db

@@ -1,0 +1,16 @@
+"""Fixture: UNITS002 positives — hand-rolled conversions outside units.py."""
+
+import math
+
+import numpy as np
+
+x_db = 12.0
+ratio = 4.0
+
+lin = 10.0 ** (x_db / 10.0)            # dB -> linear by hand
+
+amp = np.power(10.0, x_db / 20.0)      # dB -> amplitude by hand
+
+db = 10.0 * np.log10(ratio)            # linear -> dB by hand
+
+db2 = 20.0 * math.log10(ratio)         # amplitude -> dB by hand

@@ -1,0 +1,14 @@
+"""Fixture: UNITS002 negatives — conversions through repro.units."""
+
+from repro.units import amplitude_to_db, db_to_linear, linear_to_db
+
+x_db = 12.0
+ratio = 4.0
+
+lin = db_to_linear(x_db)
+db = linear_to_db(ratio)
+db2 = amplitude_to_db(ratio)
+
+# Powers of other bases and other logs are not conversions.
+area = 2.0 ** 10
+nats = db * 0.23
