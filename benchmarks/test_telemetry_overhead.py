@@ -1,0 +1,116 @@
+"""Telemetry overhead gate: recording must be cheap, null must be free.
+
+The instrumentation contract (docs/observability.md) is that the
+default :class:`~repro.telemetry.NullRecorder` costs essentially
+nothing — hot loops guard whole blocks behind ``telemetry.enabled`` —
+and that a live :class:`~repro.telemetry.Recorder` stays under 5%
+end-to-end on a realistic chaos workload.  Wall-clock timing is
+inherently noisy, so each configuration is timed as the *minimum* over
+several repeats (the standard low-noise estimator: the min is the run
+least disturbed by the host).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.link import OtamLink
+from repro.faults import scenario_injector
+from repro.resilience import ChaosSimulation
+from repro.sim.environment import default_lab_room
+from repro.sim.geometry import Point, angle_of
+from repro.sim.placement import Placement
+from repro.telemetry import NullRecorder, Recorder
+
+from conftest import record
+
+REPEATS = 5
+DURATION_S = 20.0
+TIME_STEP_S = 0.05
+NULL_OVERHEAD_LIMIT = 0.03
+"""NullRecorder must be within timing noise of the uninstrumented path."""
+
+RECORDING_OVERHEAD_LIMIT = 0.05
+"""The ISSUE gate: a live Recorder costs < 5% on the chaos workload."""
+
+
+def _chaos_sim(telemetry) -> ChaosSimulation:
+    """The benchmark workload: the kitchen-sink scenario, mid-room."""
+    room = default_lab_room()
+    ap = Point(room.width_m / 2.0, 0.15)
+    node = Point(room.width_m / 2.0, 4.15)
+    placement = Placement(node, angle_of(node, ap), ap, math.pi / 2)
+    link = OtamLink(placement=placement, room=room)
+    injector = scenario_injector("kitchen-sink", master_seed=0)
+    return ChaosSimulation(link, injector, time_step_s=TIME_STEP_S,
+                           telemetry=telemetry)
+
+
+def _best_time(telemetry) -> float:
+    """Min-of-N wall seconds for one full chaos run."""
+    sim = _chaos_sim(telemetry)
+    sim.run(DURATION_S)  # warm-up: JIT nothing, but fill caches
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        sim.run(DURATION_S)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_telemetry_overhead_gates():
+    baseline_s = _best_time(None)
+    null_s = _best_time(NullRecorder())
+    recorder = Recorder()
+    recording_s = _best_time(recorder)
+
+    null_overhead = null_s / baseline_s - 1.0
+    recording_overhead = recording_s / baseline_s - 1.0
+
+    steps = int(round(DURATION_S / TIME_STEP_S))
+    text = "\n".join([
+        f"chaos workload: kitchen-sink, {DURATION_S:.0f} s simulated, "
+        f"{steps} steps, min of {REPEATS} runs",
+        f"  baseline (telemetry=None) : {baseline_s * 1e3:8.1f} ms",
+        f"  NullRecorder              : {null_s * 1e3:8.1f} ms "
+        f"({null_overhead:+.1%})",
+        f"  Recorder (full recording) : {recording_s * 1e3:8.1f} ms "
+        f"({recording_overhead:+.1%})",
+        f"  gates: null < {NULL_OVERHEAD_LIMIT:.0%}, "
+        f"recording < {RECORDING_OVERHEAD_LIMIT:.0%}",
+    ])
+    record("telemetry_overhead", text)
+
+    assert null_overhead < NULL_OVERHEAD_LIMIT, (
+        f"NullRecorder overhead {null_overhead:.1%} exceeds "
+        f"{NULL_OVERHEAD_LIMIT:.0%} — the enabled-guard contract broke")
+    assert recording_overhead < RECORDING_OVERHEAD_LIMIT, (
+        f"Recorder overhead {recording_overhead:.1%} exceeds "
+        f"{RECORDING_OVERHEAD_LIMIT:.0%}")
+
+    # The recording run must actually have recorded — an accidentally
+    # disabled recorder would pass the gates vacuously.
+    assert recorder.metrics.counter("chaos.steps").value \
+        == float(steps * (1 + REPEATS))
+
+
+def test_recording_throughput_sane():
+    """Raw verb cost: a Recorder sustains >1e5 counter bumps/second.
+
+    Not a comparative gate — a floor so a pathological regression (say,
+    re-validating the metric name on every increment) fails loudly.
+    """
+    recorder = Recorder()
+    n = 100_000
+    rng = np.random.default_rng(0)
+    values = rng.random(n)
+    start = time.perf_counter()
+    for value in values:
+        recorder.count("bench.counter", 1.0)
+        recorder.observe("bench.latency_s", float(value))
+    elapsed = time.perf_counter() - start
+    rate = 2 * n / elapsed
+    assert rate > 1e5, f"telemetry verbs at {rate:.0f}/s are too slow"

@@ -36,6 +36,7 @@ Layout
 ``repro.resilience`` link health monitoring and the recovery ladder
 ``repro.transport`` reliable transport: ARQ, adaptive RTO, circuit breaker
 ``repro.cluster``   AP checkpointing, heartbeats, multi-AP failover
+``repro.telemetry`` sim-time metrics, spans, deterministic exporters
 ``repro.experiments`` one module per paper table/figure
 """
 
@@ -98,6 +99,14 @@ from .sim import (
     Room,
     default_lab_room,
 )
+from .telemetry import (
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    SimClock,
+    TelemetryRecorder,
+    Tracer,
+)
 from .transport import (
     AdaptiveRetransmission,
     CircuitBreaker,
@@ -137,12 +146,14 @@ __all__ = [
     "LinkHealthReport",
     "LinkReport",
     "LinkSupervisor",
+    "MetricsRegistry",
     "MmxAccessPoint",
     "MmxNode",
     "MonteCarloRunner",
     "MultiNodeNetwork",
     "NODE_EIRP_DBM",
     "NodeHardware",
+    "NullRecorder",
     "OrthogonalBeamPair",
     "OtamLink",
     "OtamModulator",
@@ -153,11 +164,15 @@ __all__ = [
     "Placement",
     "PlacementSampler",
     "Point",
+    "Recorder",
     "ReliableLink",
     "Room",
     "RtoEstimator",
+    "SimClock",
     "SnrBreakdown",
+    "TelemetryRecorder",
     "TimeModulatedArray",
+    "Tracer",
     "comparison_table",
     "default_lab_room",
     "default_preamble_bits",

@@ -8,6 +8,9 @@ Commands
 ``characterize``           channel statistics for the default lab
 ``chaos --scenario NAME``  fault-injection run: recovery ladder vs static
 ``chaos --ap-crash``       multi-AP failover vs a frozen single AP
+``chaos ... --json``       same run, but emit the telemetry export (JSONL)
+``telemetry summarize F``  per-subsystem tables from a JSONL export
+``telemetry flame F``      collapsed flamegraph stacks from a JSONL export
 ``lint [paths...]``        run the reprolint static analyser (repo checkouts)
 ``list``                   available experiment names
 """
@@ -61,6 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the multi-AP failover comparison "
                             "(cluster vs frozen single AP) instead of "
                             "a link-fault scenario")
+    chaos.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the run's telemetry export as JSONL "
+                            "on stdout instead of the text report")
+
+    tele = sub.add_parser(
+        "telemetry", help="inspect sim-time telemetry JSONL exports")
+    tele_sub = tele.add_subparsers(dest="telemetry_command", required=True)
+    summ = tele_sub.add_parser(
+        "summarize", help="render per-subsystem metric/span tables")
+    summ.add_argument("path", help="telemetry JSONL export file")
+    flame = tele_sub.add_parser(
+        "flame", help="emit collapsed flamegraph stacks (sim-time µs)")
+    flame.add_argument("path", help="telemetry JSONL export file")
 
     lint = sub.add_parser(
         "lint", help="run the reprolint static analyser over the repo")
@@ -186,26 +202,66 @@ def _cmd_characterize() -> int:
 
 
 def _cmd_chaos(scenario: str, seed: int, duration: float,
-               ap_crash: bool = False) -> int:
+               ap_crash: bool = False, as_json: bool = False) -> int:
     from .experiments import chaos
     from .faults import SCENARIOS
+    from .telemetry import Recorder, to_jsonl
+
+    # With --json every run records into one Recorder and the export —
+    # the same deterministic JSONL the library writes — goes to stdout.
+    recorder = Recorder() if as_json else None
 
     if ap_crash:
-        print(chaos.render_failover(chaos.run_failover(
-            seed=seed, duration_s=duration)))
+        outcome = chaos.run_failover(seed=seed, duration_s=duration,
+                                     telemetry=recorder)
+        if recorder is not None:
+            print(to_jsonl(recorder), end="")
+        else:
+            print(chaos.render_failover(outcome))
         return 0
     if scenario == "all":
-        print(chaos.render_all(chaos.run_all(seed=seed,
-                                             duration_s=duration)))
+        outcomes = chaos.run_all(seed=seed, duration_s=duration,
+                                 telemetry=recorder)
+        if recorder is not None:
+            print(to_jsonl(recorder), end="")
+        else:
+            print(chaos.render_all(outcomes))
         return 0
     if scenario not in SCENARIOS:
         print(f"unknown scenario {scenario!r}; choose from "
               f"{', '.join(sorted(SCENARIOS))} or 'all'",
               file=sys.stderr)
         return 2
-    print(chaos.render(chaos.run(scenario, seed=seed,
-                                 duration_s=duration)))
+    outcome = chaos.run(scenario, seed=seed, duration_s=duration,
+                        telemetry=recorder)
+    if recorder is not None:
+        print(to_jsonl(recorder), end="")
+    else:
+        print(chaos.render(outcome))
     return 0
+
+
+def _cmd_telemetry(command: str, path: str) -> int:
+    from .telemetry import load_path, render, spans_to_collapsed, summarize
+
+    try:
+        records = load_path(path)
+    except OSError as exc:
+        print(f"repro telemetry: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro telemetry: {path} is not a telemetry JSONL "
+              f"export: {exc}", file=sys.stderr)
+        return 2
+    if command == "summarize":
+        print(render(summarize(records)))
+        return 0
+    if command == "flame":
+        for line in spans_to_collapsed(records):
+            print(line)
+        return 0
+    raise AssertionError("unreachable")
 
 
 def _cmd_lint(paths: list[str], as_json: bool) -> int:
@@ -244,7 +300,9 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_characterize()
     if args.command == "chaos":
         return _cmd_chaos(args.scenario, args.seed, args.duration,
-                          args.ap_crash)
+                          args.ap_crash, args.as_json)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args.telemetry_command, args.path)
     if args.command == "lint":
         return _cmd_lint(args.paths, args.as_json)
     if args.command == "list":

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..network.fdm import SpectrumExhausted
 from ..node.access_point import MmxAccessPoint
+from ..telemetry import NullRecorder, TelemetryRecorder
 from .checkpoint import ApCheckpoint
 from .heartbeat import HeartbeatMonitor
 
@@ -55,7 +56,8 @@ class ApMember:
 class Cluster:
     """A set of APs sharing responsibility for one node population."""
 
-    def __init__(self, aps, heartbeat: HeartbeatMonitor | None = None):
+    def __init__(self, aps, heartbeat: HeartbeatMonitor | None = None,
+                 telemetry: TelemetryRecorder | None = None):
         if not aps:
             raise ValueError("a cluster needs at least one AP")
         self.members: dict[int, ApMember] = {
@@ -66,8 +68,16 @@ class Cluster:
         self.serving: dict[int, int] = {}
         self.orphaned: set[int] = set()
         self.failover_count = 0
+        self.telemetry = telemetry if telemetry is not None \
+            else NullRecorder()
+        """Sink for the ``cluster.*`` metric family: heartbeat-death /
+        failover / orphan / checkpoint / recovery counters, the alive-AP
+        gauge, and one ``cluster.ap_outage`` span per declared death
+        (closed on recovery, so its sim-time duration is the failover
+        window).  The driver stepping the cluster owns the clock."""
         self._preferences: dict[int, tuple[int, ...]] = {}
         self._rates: dict[int, float] = {}
+        self._ap_outage_spans: dict[int, object] = {}
 
     # --- membership -------------------------------------------------------
 
@@ -126,11 +136,15 @@ class Cluster:
     def checkpoint_all(self) -> dict[int, ApCheckpoint]:
         """Snapshot every alive AP (dead ones keep their last capture)."""
         out = {}
+        captured = 0
         for member in self.members.values():
             if member.alive:
                 member.checkpoint = ApCheckpoint.capture(member.ap)
+                captured += 1
             if member.checkpoint is not None:
                 out[member.ap_id] = member.checkpoint
+        if self.telemetry.enabled and captured:
+            self.telemetry.count("cluster.checkpoints", captured)
         return out
 
     # --- failure and recovery ---------------------------------------------
@@ -150,8 +164,16 @@ class Cluster:
             if member.alive:
                 self.monitor.beat(member.ap_id, now_s)
         migrations = {}
+        tel = self.telemetry
         for ap_id in self.monitor.newly_dead(now_s):
+            if tel.enabled:
+                tel.count("cluster.heartbeat_deaths")
+                if ap_id not in self._ap_outage_spans:
+                    self._ap_outage_spans[ap_id] = tel.begin(
+                        "cluster.ap_outage", ap_id=ap_id)
             migrations[ap_id] = self.fail_over(ap_id)
+        if tel.enabled:
+            tel.gauge("cluster.alive_aps", float(len(self.alive_ap_ids())))
         return migrations
 
     def fail_over(self, dead_ap_id: int) -> list[int]:
@@ -180,10 +202,14 @@ class Cluster:
             if new_ap is None:
                 del self.serving[node_id]
                 self.orphaned.add(node_id)
+                if self.telemetry.enabled:
+                    self.telemetry.count("cluster.orphaned")
             else:
                 self.serving[node_id] = new_ap
                 self.failover_count += 1
                 migrated.append(node_id)
+                if self.telemetry.enabled:
+                    self.telemetry.count("cluster.failovers")
         return migrated
 
     def recover(self, ap_id: int, now_s: float) -> MmxAccessPoint:
@@ -214,6 +240,13 @@ class Cluster:
                 member.ap.deregister_node(node_id)
         member.alive = True
         self.monitor.beat(ap_id, now_s)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("cluster.recoveries")
+            tel.gauge("cluster.alive_aps", float(len(self.alive_ap_ids())))
+            span = self._ap_outage_spans.pop(ap_id, None)
+            if span is not None:
+                tel.end(span)
         return member.ap
 
     def stats(self) -> dict:
@@ -280,11 +313,17 @@ class FailoverSimulation:
                  payload_bytes: int = 256,
                  heartbeat: HeartbeatMonitor | None = None,
                  checkpoint_interval_s: float = 1.0,
-                 link_kwargs: dict | None = None):
+                 link_kwargs: dict | None = None,
+                 telemetry: TelemetryRecorder | None = None):
         from ..network.network import frame_success_matrix
 
         if checkpoint_interval_s <= 0:
             raise ValueError("checkpoint interval must be positive")
+        self.telemetry = telemetry if telemetry is not None \
+            else NullRecorder()
+        """Recorder handed to the per-run :class:`Cluster` (so the
+        ``cluster.*`` family lands in the export) and whose clock this
+        simulation advances one ``dt_s`` per lock-step iteration."""
         self.ap_positions = list(ap_positions)
         self.node_positions = list(node_positions)
         self.demanded_rate_bps = float(demanded_rate_bps)
@@ -320,7 +359,8 @@ class FailoverSimulation:
             miss_threshold=self.heartbeat.miss_threshold)
         cluster = Cluster(
             aps=[MmxAccessPoint() for _ in self.ap_positions],
-            heartbeat=monitor)
+            heartbeat=monitor,
+            telemetry=self.telemetry)
         num_nodes = len(self.node_positions)
         for i in range(num_nodes):
             preference = [int(j) for j in np.argsort(-self.success[i])]
@@ -338,7 +378,10 @@ class FailoverSimulation:
         next_checkpoint_s = self.checkpoint_interval_s
 
         crash_targets = sorted({ap for _, _, ap in windows})
+        tel = self.telemetry
         for k, t in enumerate(times):
+            if tel.enabled:
+                tel.clock.advance(dt_s)
             # An AP is down while *any* of its crash windows is open
             # (windows may overlap); it reboots once all have closed.
             for ap_index in crash_targets:
@@ -368,6 +411,11 @@ class FailoverSimulation:
             if not static_state_lost:
                 static[k] = float(np.mean(self.success[:, 0]))
 
+        if tel.enabled:
+            tel.event("cluster.run",
+                      duration_s=float(schedule.duration_s),
+                      failovers=cluster.failover_count,
+                      orphaned=len(cluster.orphaned))
         return FailoverResult(
             times_s=times,
             adaptive_success=adaptive,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..cluster import FailoverResult
 from ..faults import scenario_injector
 from ..resilience import ChaosResult, ChaosSimulation
+from ..telemetry import TelemetryRecorder
 
 __all__ = ["ChaosRunResult", "FailoverRunResult", "run", "run_all",
            "run_failover", "render", "render_all", "render_failover"]
@@ -72,30 +73,44 @@ def _facing_link(distance_m: float):
 def run(scenario: str = "kitchen-sink", seed: int = 0,
         duration_s: float = 30.0, quiet_tail_s: float = 3.0,
         distance_m: float = DEFAULT_DISTANCE_M,
-        time_step_s: float = 0.1) -> ChaosRunResult:
+        time_step_s: float = 0.1,
+        telemetry: TelemetryRecorder | None = None) -> ChaosRunResult:
     """One chaos run: a named fault scenario against both policies.
 
     Everything — the fault schedule, the supervisor's backoff jitter —
     derives from ``seed``, so the whole result regenerates
     bit-identically.  ``quiet_tail_s`` keeps the end of the run
-    fault-free so post-fault recovery is measurable.
+    fault-free so post-fault recovery is measurable.  ``telemetry``
+    (optional) wraps the run in a ``chaos.scenario`` span and collects
+    the ``chaos.*`` / ``resilience.*`` families for export.
     """
     injector = scenario_injector(scenario, master_seed=seed)
     sim = ChaosSimulation(_facing_link(distance_m), injector,
-                          time_step_s=time_step_s)
-    result = sim.run(duration_s, quiet_tail_s=quiet_tail_s)
+                          time_step_s=time_step_s,
+                          telemetry=telemetry)
+    tel = sim.telemetry
+    with tel.span("chaos.scenario", scenario=scenario, seed=seed):
+        result = sim.run(duration_s, quiet_tail_s=quiet_tail_s)
     return ChaosRunResult(scenario=scenario, seed=seed,
                           duration_s=duration_s, result=result)
 
 
 def run_all(seed: int = 0, duration_s: float = 30.0,
             quiet_tail_s: float = 3.0,
-            distance_m: float = DEFAULT_DISTANCE_M) -> list[ChaosRunResult]:
-    """Every registered scenario from one master seed."""
+            distance_m: float = DEFAULT_DISTANCE_M,
+            telemetry: TelemetryRecorder | None = None
+            ) -> list[ChaosRunResult]:
+    """Every registered scenario from one master seed.
+
+    One recorder (``telemetry``) spans the whole sweep, so scenario
+    spans stack side by side on a single cumulative sim-time axis —
+    exactly the shape the flamegraph export collapses.
+    """
     from ..faults import SCENARIOS
 
     return [run(name, seed=seed, duration_s=duration_s,
-                quiet_tail_s=quiet_tail_s, distance_m=distance_m)
+                quiet_tail_s=quiet_tail_s, distance_m=distance_m,
+                telemetry=telemetry)
             for name in sorted(SCENARIOS)]
 
 
@@ -120,7 +135,9 @@ def run_failover(seed: int = 0, duration_s: float = 30.0,
                  crash_start_s: float = 8.0,
                  crash_duration_s: float = 12.0,
                  ap_index: int = 0,
-                 time_step_s: float = 0.1) -> FailoverRunResult:
+                 time_step_s: float = 0.1,
+                 telemetry: TelemetryRecorder | None = None
+                 ) -> FailoverRunResult:
     """Crash one AP of a two-AP cluster and score the failover machinery.
 
     A 20 x 10 m hall with an AP at each end and four nodes split
@@ -142,13 +159,17 @@ def run_failover(seed: int = 0, duration_s: float = 30.0,
                       Point(14.0, 3.0), Point(16.0, 7.0)]
     sim = FailoverSimulation(
         room, ap_positions, node_positions, demanded_rate_bps=1e6,
-        heartbeat=HeartbeatMonitor(interval_s=0.5, miss_threshold=3))
+        heartbeat=HeartbeatMonitor(interval_s=0.5, miss_threshold=3),
+        telemetry=telemetry)
     injector = FaultInjector(
         [ApCrashProcess(start_s=crash_start_s,
                         duration_s=crash_duration_s,
                         ap_index=ap_index)],
         master_seed=seed)
-    result = sim.run(injector.schedule(duration_s), dt_s=time_step_s)
+    tel = sim.telemetry
+    with tel.span("cluster.failover_run", seed=seed,
+                  ap_index=ap_index):
+        result = sim.run(injector.schedule(duration_s), dt_s=time_step_s)
     return FailoverRunResult(seed=seed, duration_s=duration_s,
                              crash_start_s=crash_start_s,
                              crash_duration_s=crash_duration_s,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..constants import ISM_24GHZ_HIGH_HZ, ISM_24GHZ_LOW_HZ
+from ..telemetry import NullRecorder, TelemetryRecorder
 
 __all__ = ["ChannelPlan", "FdmAllocator", "SpectrumExhausted"]
 
@@ -59,7 +60,8 @@ class FdmAllocator:
                  band_high_hz: float = ISM_24GHZ_HIGH_HZ,
                  bandwidth_per_bps: float = 2.0,
                  guard_fraction: float = 0.25,
-                 min_channel_hz: float = 1e6):
+                 min_channel_hz: float = 1e6,
+                 telemetry: TelemetryRecorder | None = None):
         if band_high_hz <= band_low_hz:
             raise ValueError("invalid band edges")
         if bandwidth_per_bps <= 0 or min_channel_hz <= 0:
@@ -71,6 +73,12 @@ class FdmAllocator:
         self.bandwidth_per_bps = bandwidth_per_bps
         self.guard_fraction = guard_fraction
         self.min_channel_hz = min_channel_hz
+        self.telemetry = telemetry if telemetry is not None \
+            else NullRecorder()
+        """Sink for the ``fdm.*`` metric family: allocation-churn
+        counters (allocations / releases / reallocations / exhausted /
+        blocked_ranges) and the committed-spectrum gauge.  The allocator
+        never touches the recorder's clock — the driver owns time."""
         self._plans: dict[int, ChannelPlan] = {}
         self._blocked: list[tuple[float, float]] = []
 
@@ -117,8 +125,18 @@ class FdmAllocator:
         if node_id in self._plans:
             raise ValueError(f"node {node_id} already holds a channel")
         width = self.channel_bandwidth_for_rate(demanded_rate_bps)
-        plan = self._place(node_id, width)
+        tel = self.telemetry
+        try:
+            plan = self._place(node_id, width)
+        except SpectrumExhausted:
+            if tel.enabled:
+                tel.count("fdm.exhausted")
+            raise
         self._plans[node_id] = plan
+        if tel.enabled:
+            tel.count("fdm.allocations")
+            tel.gauge("fdm.allocated_bandwidth_hz",
+                      self.allocated_bandwidth_hz)
         return plan
 
     # --- interference avoidance ------------------------------------------
@@ -133,6 +151,8 @@ class FdmAllocator:
         if high_hz <= low_hz:
             raise ValueError("invalid blocked range")
         self._blocked.append((float(low_hz), float(high_hz)))
+        if self.telemetry.enabled:
+            self.telemetry.count("fdm.blocked_ranges")
 
     def clear_blocks(self) -> None:
         """Forget all blocked ranges (the interferer went away)."""
@@ -153,12 +173,19 @@ class FdmAllocator:
         """
         old = self.plan_for(node_id)
         del self._plans[node_id]
+        tel = self.telemetry
         try:
             plan = self._place(node_id, old.bandwidth_hz)
         except SpectrumExhausted:
             self._plans[node_id] = old
+            if tel.enabled:
+                tel.count("fdm.exhausted")
             raise
         self._plans[node_id] = plan
+        if tel.enabled:
+            tel.count("fdm.reallocations")
+            tel.event("fdm.reallocation", node_id=node_id,
+                      from_hz=old.center_hz, to_hz=plan.center_hz)
         return plan
 
     def restore_plan(self, plan: ChannelPlan) -> None:
@@ -186,6 +213,10 @@ class FdmAllocator:
         if node_id not in self._plans:
             raise KeyError(f"node {node_id} holds no channel")
         del self._plans[node_id]
+        if self.telemetry.enabled:
+            self.telemetry.count("fdm.releases")
+            self.telemetry.gauge("fdm.allocated_bandwidth_hz",
+                                 self.allocated_bandwidth_hz)
 
     def plan_for(self, node_id: int) -> ChannelPlan:
         """Look up a node's channel."""

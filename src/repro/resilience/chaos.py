@@ -26,6 +26,7 @@ import numpy as np
 from ..core.throughput import CODING_MODES, frame_success_probability
 from ..faults.injector import FaultInjector, FaultSchedule
 from ..phy import ber as ber_theory
+from ..telemetry import NullRecorder, TelemetryRecorder
 from .health import LinkHealthMonitor, LinkHealthReport
 from .supervisor import LinkSupervisor, RecoveryAction
 
@@ -136,7 +137,8 @@ class ChaosSimulation:
     def __init__(self, link, injector: FaultInjector,
                  time_step_s: float = 0.1,
                  payload_bytes: int = 256,
-                 supervisor_kwargs: dict | None = None):
+                 supervisor_kwargs: dict | None = None,
+                 telemetry: TelemetryRecorder | None = None):
         if time_step_s <= 0:
             raise ValueError("time step must be positive")
         self.link = link
@@ -144,6 +146,12 @@ class ChaosSimulation:
         self.time_step_s = time_step_s
         self.payload_bytes = payload_bytes
         self.supervisor_kwargs = supervisor_kwargs or {}
+        self.telemetry = telemetry if telemetry is not None \
+            else NullRecorder()
+        """Sink for the ``chaos.*`` step counters; also handed down to
+        the adaptive :class:`LinkSupervisor` so its ``resilience.*``
+        family lands in the same export.  The simulation drives the
+        recorder's clock one ``time_step_s`` per step."""
 
     def run(self, duration_s: float,
             quiet_tail_s: float = 0.0) -> ChaosResult:
@@ -165,6 +173,7 @@ class ChaosSimulation:
             monitor=LinkHealthMonitor(),
             payload_bytes=self.payload_bytes,
             rng=np.random.default_rng(ss),
+            telemetry=self.telemetry,
             **self.supervisor_kwargs)
         static = _StaticPolicy(self.payload_bytes)
         static_monitor = LinkHealthMonitor()
@@ -187,8 +196,12 @@ class ChaosSimulation:
         static_snr = np.empty(steps)
         adaptive_success = np.empty(steps)
         static_success = np.empty(steps)
+        tel = self.telemetry
         for i, t in enumerate(times):
             t = float(t)
+            if tel.enabled:
+                tel.clock.advance(self.time_step_s)
+                tel.count("chaos.steps")
             d_adaptive = schedule.disturbance_at(t, adaptive_channel[0])
             d_static = schedule.disturbance_at(t, HOME_CHANNEL)
             b_adaptive = perturb_breakdown(clean, d_adaptive,
@@ -207,6 +220,13 @@ class ChaosSimulation:
             static_monitor.observe(t, snr)
             static_snr[i] = snr
             static_success[i] = p
+            if tel.enabled:
+                tel.gauge("chaos.adaptive_success", float(decision.frame_success))
+                tel.gauge("chaos.static_success", float(p))
+        if tel.enabled:
+            tel.count("chaos.runs")
+            tel.event("chaos.run", duration_s=duration_s, steps=steps,
+                      faults=len(schedule.events))
         return ChaosResult(
             times_s=times,
             adaptive_snr_db=adaptive_snr,

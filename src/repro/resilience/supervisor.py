@@ -36,6 +36,7 @@ from ..core.throughput import CODING_MODES, CodingMode, \
     frame_success_probability
 from ..phy import ber as ber_theory
 from ..rng import ensure_rng
+from ..telemetry import NullRecorder, TelemetryRecorder
 from ..units import linear_to_db
 from .health import HEALTHY, OUTAGE, LinkHealthMonitor
 
@@ -104,7 +105,8 @@ class LinkSupervisor:
                  max_backoff_s: float = 2.0,
                  noise_jump_db: float = 6.0,
                  recovery_hold_s: float = 1.0,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 telemetry: TelemetryRecorder | None = None):
         if payload_bytes <= 0:
             raise ValueError("payload must be positive")
         if not modes:
@@ -127,6 +129,14 @@ class LinkSupervisor:
         self.noise_jump_db = noise_jump_db
         self.recovery_hold_s = recovery_hold_s
         self.rng = ensure_rng(rng)
+        self.telemetry = telemetry if telemetry is not None \
+            else NullRecorder()
+        """Sink for the ``resilience.*`` metric family: one counter per
+        ladder rung firing, plus cross-step recovery-latency spans
+        (``resilience.outage`` from leaving HEALTHY back to HEALTHY,
+        ``resilience.reinit`` from link-lost to reinit-success).  The
+        driver that calls :meth:`step` owns the recorder's clock."""
+
         # Mutable link-management state.
         self.initialized = True
         self.actions: list[RecoveryAction] = []
@@ -138,6 +148,8 @@ class LinkSupervisor:
         self._branch = "ask"
         self._nominal_noise_dbm: float | None = None
         self._healthy_since: float | None = None
+        self._outage_span = None
+        self._reinit_span = None
 
     # --- helpers ---------------------------------------------------------
 
@@ -145,7 +157,31 @@ class LinkSupervisor:
              ) -> RecoveryAction:
         action = RecoveryAction(time_s=time_s, policy=policy, detail=detail)
         self.actions.append(action)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("resilience.actions")
+            tel.count(f"resilience.action.{policy}")
+            tel.event("resilience.action", policy=policy, detail=detail,
+                      time_s=time_s)
         return action
+
+    def _track_state(self, state: str) -> None:
+        """Open/close the recovery-latency span as health transitions.
+
+        The span starts the first step the link leaves HEALTHY and
+        closes when it returns — its sim-time duration is exactly the
+        recovery latency the observability docs promise per ladder
+        escalation.
+        """
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        if state != HEALTHY and self._outage_span is None:
+            self._outage_span = tel.begin("resilience.outage",
+                                          from_state=state)
+        elif state == HEALTHY and self._outage_span is not None:
+            tel.end(self._outage_span)
+            self._outage_span = None
 
     def _backoff_delay(self) -> float:
         """Jittered exponential backoff for the next re-init attempt."""
@@ -188,7 +224,11 @@ class LinkSupervisor:
                 self._next_reinit_s = time_s
                 actions.append(self._log(time_s, "link-lost",
                                          "node power dropout"))
+                if self.telemetry.enabled and self._reinit_span is None:
+                    self._reinit_span = self.telemetry.begin(
+                        "resilience.reinit")
             self.monitor.observe(time_s, float("-inf"))
+            self._track_state(OUTAGE)
             return self._silent_decision(time_s, OUTAGE, actions)
 
         # Rung 4b: re-initialization over the side channel with
@@ -202,6 +242,9 @@ class LinkSupervisor:
                     self._failed_attempts = 0
                     self.monitor.reset_estimate()
                     actions.append(self._log(time_s, "reinit-success"))
+                    if self._reinit_span is not None:
+                        self.telemetry.end(self._reinit_span)
+                        self._reinit_span = None
                 else:
                     self._failed_attempts += 1
                     delay = self._backoff_delay()
@@ -212,6 +255,7 @@ class LinkSupervisor:
             # The re-init handshake (successful or not) consumes the
             # step; transmission resumes next step.
             self.monitor.observe(time_s, float("-inf"))
+            self._track_state(OUTAGE)
             return self._silent_decision(time_s, OUTAGE, actions)
 
         # Rung 5: a sustained noise-floor jump means an in-band
@@ -234,6 +278,7 @@ class LinkSupervisor:
 
         raw_snr = max(breakdown.ask_snr_db, breakdown.fsk_snr_db)
         state = self.monitor.observe(time_s, raw_snr)
+        self._track_state(state)
 
         # Rung 3: when the link sits in outage, trade rate for SNR —
         # each halving of the bit rate doubles per-bit energy (+3 dB).

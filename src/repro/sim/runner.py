@@ -4,14 +4,25 @@ Every experiment in the paper is a set of repeated trials over random
 placements (30 locations in §9.3, 100 runs in §9.5...).  The runner owns
 the RNG discipline — one master seed, one child generator per trial — so
 every figure regenerates bit-identically.
+
+Long sweeps are observable mid-run: :meth:`MonteCarloRunner.run_stream`
+yields each :class:`TrialResult` the moment its trial finishes (so a
+caller can checkpoint or print partials), :meth:`MonteCarloRunner.run`
+accepts a per-trial ``progress`` callback, and a
+:class:`~repro.telemetry.TelemetryRecorder` wraps every trial in a
+``sim.trial`` span plus a ``sim.trial`` event — the per-trial profile
+the flamegraph export is built from.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 import numpy as np
+
+from ..telemetry import NullRecorder, TelemetryRecorder
 
 __all__ = ["TrialResult", "MonteCarloRunner"]
 
@@ -31,8 +42,11 @@ class TrialResult:
 class MonteCarloRunner:
     """Runs ``trial_fn(rng, index) -> dict`` over independent RNG streams."""
 
-    def __init__(self, master_seed: int = 0):
+    def __init__(self, master_seed: int = 0,
+                 telemetry: TelemetryRecorder | None = None):
         self.master_seed = master_seed
+        self.telemetry = telemetry if telemetry is not None \
+            else NullRecorder()
 
     def child_seeds(self, count: int) -> list[int]:
         """Deterministic per-trial seeds derived from the master seed."""
@@ -41,16 +55,44 @@ class MonteCarloRunner:
         ss = np.random.SeedSequence(self.master_seed)
         return [int(s.generate_state(1)[0]) for s in ss.spawn(count)]
 
-    def run(self, trial_fn: Callable[[np.random.Generator, int], dict],
-            num_trials: int) -> list[TrialResult]:
-        """Execute ``num_trials`` independent trials."""
-        results = []
+    def run_stream(self, trial_fn: Callable[[np.random.Generator, int], dict],
+                   num_trials: int) -> Iterator[TrialResult]:
+        """Yield each trial's result as soon as it completes.
+
+        This is the partial-result path: a sweep of hundreds of trials
+        can be consumed incrementally (printed, checkpointed, aborted)
+        instead of blocking until the last trial returns.  Each trial is
+        traced as a ``sim.trial`` span and announced with a ``sim.trial``
+        telemetry event carrying its index and seed.
+        """
+        tel = self.telemetry
         for index, seed in enumerate(self.child_seeds(num_trials)):
             rng = np.random.default_rng(seed)
-            values = trial_fn(rng, index)
+            with tel.span("sim.trial", index=index):
+                values = trial_fn(rng, index)
             if not isinstance(values, dict):
                 raise TypeError("trial function must return a dict of values")
-            results.append(TrialResult(index=index, seed=seed, values=values))
+            if tel.enabled:
+                tel.count("sim.trials")
+                tel.event("sim.trial", index=index, seed=seed,
+                          of=num_trials)
+            yield TrialResult(index=index, seed=seed, values=values)
+
+    def run(self, trial_fn: Callable[[np.random.Generator, int], dict],
+            num_trials: int,
+            progress: Callable[[TrialResult], None] | None = None
+            ) -> list[TrialResult]:
+        """Execute ``num_trials`` independent trials.
+
+        ``progress`` (optional) is invoked with each
+        :class:`TrialResult` as it lands — the hook long sweeps use to
+        report partial results without changing the return type.
+        """
+        results = []
+        for result in self.run_stream(trial_fn, num_trials):
+            if progress is not None:
+                progress(result)
+            results.append(result)
         return results
 
     @staticmethod

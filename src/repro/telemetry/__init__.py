@@ -1,0 +1,79 @@
+"""``repro.telemetry`` — sim-time observability for the whole stack.
+
+The repo's simulations used to report only end-of-run aggregates; this
+package adds the instrumentation layer mmX's own evaluation (§9) is
+built on: per-event counters, last-value gauges, exponential-bucket
+latency histograms, and spans measured in **simulated seconds** — never
+wall time, so every export regenerates byte-identically from a seed.
+
+Pieces
+------
+``clock``     :class:`SimClock` — the simulated-time source of truth
+``metrics``   :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+              behind a :class:`MetricsRegistry`
+``tracer``    :class:`Tracer` — scoped and cross-step spans
+``recorder``  the facade: :class:`Recorder` records,
+              :class:`NullRecorder` (the default everywhere) costs ~0
+``export``    deterministic JSONL / CSV / flamegraph exporters
+``summary``   per-subsystem tables for ``repro telemetry summarize``
+
+Usage
+-----
+>>> from repro.telemetry import Recorder, to_jsonl
+>>> from repro.resilience import ChaosSimulation  # doctest: +SKIP
+>>> rec = Recorder()                              # doctest: +SKIP
+>>> ChaosSimulation(link, injector, telemetry=rec).run(30)  # doctest: +SKIP
+>>> print(to_jsonl(rec))                          # doctest: +SKIP
+"""
+
+from .clock import SimClock
+from .export import (
+    collapsed_stacks,
+    to_csv,
+    to_jsonl,
+    to_jsonl_lines,
+    write_csv,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import EventRecord, NullRecorder, Recorder, TelemetryRecorder
+from .summary import (
+    SpanStats,
+    SubsystemSummary,
+    TelemetrySummary,
+    load_jsonl,
+    load_path,
+    render,
+    spans_to_collapsed,
+    summarize,
+)
+from .tracer import ActiveSpan, SpanRecord, Tracer
+
+__all__ = [
+    "ActiveSpan",
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "SimClock",
+    "SpanRecord",
+    "SpanStats",
+    "SubsystemSummary",
+    "TelemetryRecorder",
+    "TelemetrySummary",
+    "Tracer",
+    "collapsed_stacks",
+    "load_jsonl",
+    "load_path",
+    "render",
+    "spans_to_collapsed",
+    "summarize",
+    "to_csv",
+    "to_jsonl",
+    "to_jsonl_lines",
+    "write_csv",
+    "write_jsonl",
+]

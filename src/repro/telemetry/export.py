@@ -1,0 +1,175 @@
+"""Deterministic JSONL / CSV / collapsed-stack exporters.
+
+Exports are a *replayable artifact*: two runs of the same code with the
+same seed must produce byte-identical files (the hypothesis test in
+``tests/test_telemetry_determinism.py`` pins this).  Everything that
+could wobble is nailed down:
+
+* no wall-clock stamps anywhere — timestamps are simulated seconds;
+* JSON with sorted keys and fixed separators;
+* metrics emitted in name order, spans in completion order, events in
+  emission order (both deterministic given a seeded simulation);
+* non-finite floats (an ``-inf`` SNR gauge) serialised as ``null`` so
+  every line is strict JSON.
+
+The JSONL layout is one self-describing object per line with a
+``record`` discriminator: ``meta``, ``counter``, ``gauge``,
+``histogram``, ``span``, ``event``.  ``collapsed_stacks`` renders
+finished spans in the Brendan-Gregg collapsed format
+(``root;child value``) that flamegraph tooling consumes, with values in
+simulated microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from .recorder import Recorder
+from .tracer import SpanRecord
+
+__all__ = ["EXPORT_FORMAT_VERSION", "collapsed_stacks", "to_csv",
+           "to_jsonl", "to_jsonl_lines", "write_csv", "write_jsonl"]
+
+EXPORT_FORMAT_VERSION = 1
+"""Bump on any change to the JSONL line layout."""
+
+
+def _json_safe(value: Any) -> Any:
+    """Map non-finite floats to ``None`` so every line is strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _dumps(obj: dict[str, Any]) -> str:
+    """Canonical one-line JSON: sorted keys, no whitespace."""
+    return json.dumps(_json_safe(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def to_jsonl_lines(recorder: Recorder) -> list[str]:
+    """Serialise one recorder into JSONL lines (no trailing newline)."""
+    lines = [_dumps({"record": "meta", "format": "repro-telemetry",
+                     "version": EXPORT_FORMAT_VERSION,
+                     "clock_s": recorder.clock.now_s})]
+    for counter in recorder.metrics.counters():
+        lines.append(_dumps({"record": "counter", "name": counter.name,
+                             "value": counter.value}))
+    for gauge in recorder.metrics.gauges():
+        lines.append(_dumps({"record": "gauge", "name": gauge.name,
+                             "value": gauge.value}))
+    for histogram in recorder.metrics.histograms():
+        lines.append(_dumps({
+            "record": "histogram", "name": histogram.name,
+            "count": histogram.count, "sum": histogram.total,
+            "min": histogram.min if histogram.count else None,
+            "max": histogram.max if histogram.count else None,
+            "buckets": [[upper, count]
+                        for upper, count in histogram.buckets()]}))
+    for span in recorder.tracer.finished:
+        lines.append(_dumps({
+            "record": "span", "id": span.span_id, "name": span.name,
+            "start_s": span.start_s, "end_s": span.end_s,
+            "parent": span.parent_id, "attrs": span.attrs}))
+    for event in recorder.events:
+        lines.append(_dumps({"record": "event", "name": event.name,
+                             "time_s": event.time_s,
+                             "fields": event.fields}))
+    return lines
+
+
+def to_jsonl(recorder: Recorder) -> str:
+    """The full JSONL export as one newline-terminated string."""
+    return "\n".join(to_jsonl_lines(recorder)) + "\n"
+
+
+def write_jsonl(recorder: Recorder, path: str | Path) -> Path:
+    """Write the JSONL export to ``path``; returns the path written."""
+    path = Path(path)
+    path.write_text(to_jsonl(recorder), encoding="utf-8")
+    return path
+
+
+def to_csv(recorder: Recorder) -> str:
+    """A flat CSV view: ``record,name,time_s,value,detail`` rows.
+
+    Spreadsheets cannot ingest nested JSON; this projection keeps one
+    row per telemetry item with the distribution/attribute detail
+    packed into the final column.
+    """
+    rows = ["record,name,time_s,value,detail"]
+
+    def cell(value: Any) -> str:
+        text = "" if value is None else str(value)
+        if any(c in text for c in ",\"\n"):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    for counter in recorder.metrics.counters():
+        rows.append(f"counter,{cell(counter.name)},,{counter.value},")
+    for gauge in recorder.metrics.gauges():
+        value = _json_safe(gauge.value)
+        rows.append(f"gauge,{cell(gauge.name)},,"
+                    f"{'' if value is None else value},")
+    for histogram in recorder.metrics.histograms():
+        detail = (f"sum={histogram.total};mean={histogram.mean};"
+                  f"min={histogram.min if histogram.count else ''};"
+                  f"max={histogram.max if histogram.count else ''}")
+        rows.append(f"histogram,{cell(histogram.name)},,"
+                    f"{histogram.count},{cell(detail)}")
+    for span in recorder.tracer.finished:
+        detail = f"id={span.span_id};parent={span.parent_id}"
+        rows.append(f"span,{cell(span.name)},{span.start_s},"
+                    f"{span.duration_s},{cell(detail)}")
+    for event in recorder.events:
+        detail = ";".join(f"{k}={_json_safe(v)}"
+                          for k, v in sorted(event.fields.items()))
+        rows.append(f"event,{cell(event.name)},{event.time_s},,"
+                    f"{cell(detail)}")
+    return "\n".join(rows) + "\n"
+
+
+def write_csv(recorder: Recorder, path: str | Path) -> Path:
+    """Write the CSV export to ``path``; returns the path written."""
+    path = Path(path)
+    path.write_text(to_csv(recorder), encoding="utf-8")
+    return path
+
+
+def collapsed_stacks(spans: list[SpanRecord]) -> list[str]:
+    """Finished spans folded into flamegraph collapsed-stack lines.
+
+    Each line is ``parent;child count`` where the count is the span's
+    *self* time (duration minus finished children) in whole simulated
+    microseconds — the units flamegraph renderers treat as sample
+    counts.  Lines come out sorted, so the export is deterministic.
+    """
+    names = {span.span_id: span.name for span in spans}
+    parents = {span.span_id: span.parent_id for span in spans}
+    child_time: dict[int | None, float] = {}
+    for span in spans:
+        parent = span.parent_id
+        child_time[parent] = child_time.get(parent, 0.0) + span.duration_s
+
+    def stack(span: SpanRecord) -> str:
+        chain = [span.name]
+        parent = span.parent_id
+        while parent is not None and parent in names:
+            chain.append(names[parent])
+            parent = parents[parent]
+        return ";".join(reversed(chain))
+
+    totals: dict[str, int] = {}
+    for span in spans:
+        self_s = span.duration_s - child_time.get(span.span_id, 0.0)
+        micros = int(round(max(self_s, 0.0) * 1e6))
+        key = stack(span)
+        totals[key] = totals.get(key, 0) + micros
+    return [f"{key} {value}" for key, value in sorted(totals.items())]

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..rng import fresh_rng
+from ..telemetry import NullRecorder, TelemetryRecorder
 from .framing import MAX_SEQ, MAX_WINDOW, TransportFrame, seq_distance
 from .rto import RtoEstimator
 
@@ -242,6 +243,11 @@ class ReliableLink:
     window: int = 16
     max_transmissions: int = 16
     rng: np.random.Generator = field(default_factory=fresh_rng)
+    telemetry: TelemetryRecorder = field(default_factory=NullRecorder,
+                                         repr=False)
+    """Sink for the ``transport.*`` metric family: per-transfer spans,
+    retransmit/SACK/duplicate counters and the RTO-evolution gauge.
+    The default :class:`NullRecorder` keeps the tick loop at seed cost."""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:
@@ -278,6 +284,9 @@ class ReliableLink:
         one_way_s = self.rtt_s / 2.0
         now = 0.0
         delivered: list[bytes] = []
+        tel = self.telemetry
+        transfer_span = tel.begin("transport.transfer",
+                                  segments=len(payloads))
         while not sender.done and now < max_duration_s:
             for frame in sender.poll(now):
                 if self.rng.random() >= self.loss_probability:
@@ -289,10 +298,26 @@ class ReliableLink:
                     ack_wire.append((now + one_way_s, ack.encode()))
             for when, blob in [f for f in ack_wire if f[0] <= now]:
                 ack_wire.remove((when, blob))
-                sender.on_ack(TransportFrame.decode(blob), now)
+                ack_frame = TransportFrame.decode(blob)
+                if tel.enabled and ack_frame.sack_bitmap:
+                    tel.count("transport.sacked_segments",
+                              len(ack_frame.sacked_sequences()))
+                sender.on_ack(ack_frame, now)
             delivered.extend(receiver.take_delivered())
             now += time_step_s
+            if tel.enabled:
+                tel.clock.advance(time_step_s)
+                tel.gauge("transport.rto_s", sender.rto.rto_s)
         delivered.extend(receiver.take_delivered())
+        tel.end(transfer_span)
+        if tel.enabled:
+            tel.count("transport.segments_offered", len(payloads))
+            tel.count("transport.segments_delivered", len(delivered))
+            tel.count("transport.retransmissions",
+                      sender.retransmissions)
+            tel.count("transport.duplicates", receiver.duplicates)
+            tel.count("transport.abandoned", len(sender.gave_up))
+            tel.observe("transport.transfer_s", now, least=1e-3)
         in_order = delivered == payloads[:len(delivered)]
         return TransferStats(
             offered=len(payloads),

@@ -36,6 +36,25 @@ class TestParser:
     def test_chaos_ap_crash_flag(self):
         args = build_parser().parse_args(["chaos", "--ap-crash"])
         assert args.ap_crash
+        assert not args.as_json
+
+    def test_chaos_json_flag(self):
+        args = build_parser().parse_args(["chaos", "--json"])
+        assert args.as_json
+
+    def test_telemetry_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry"])
+
+    def test_telemetry_summarize_takes_path(self):
+        args = build_parser().parse_args(
+            ["telemetry", "summarize", "run.jsonl"])
+        assert args.telemetry_command == "summarize"
+        assert args.path == "run.jsonl"
+
+    def test_telemetry_flame_takes_path(self):
+        args = build_parser().parse_args(["telemetry", "flame", "x.jsonl"])
+        assert args.telemetry_command == "flame"
 
 
 class TestCommands:
@@ -85,3 +104,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ap-crash failover" in out
         assert "frozen single-AP" in out
+
+    def test_chaos_json_emits_telemetry_export(self, capsys):
+        import json
+
+        assert main(["chaos", "--scenario", "dropout",
+                     "--duration", "5", "--json"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["record"] == "meta"
+        assert records[0]["format"] == "repro-telemetry"
+        assert any(r["record"] == "counter"
+                   and r["name"] == "chaos.steps" for r in records)
+
+    def test_chaos_json_is_deterministic(self, capsys):
+        argv = ["chaos", "--scenario", "dropout",
+                "--duration", "5", "--seed", "11", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_telemetry_summarize_roundtrip(self, tmp_path, capsys):
+        export = tmp_path / "run.jsonl"
+        assert main(["chaos", "--scenario", "kitchen-sink",
+                     "--duration", "6", "--json"]) == 0
+        export.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert main(["telemetry", "summarize", str(export)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "chaos.steps" in out
+
+    def test_telemetry_flame_emits_collapsed_stacks(self, tmp_path,
+                                                    capsys):
+        export = tmp_path / "run.jsonl"
+        assert main(["chaos", "--scenario", "kitchen-sink",
+                     "--duration", "6", "--json"]) == 0
+        export.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert main(["telemetry", "flame", str(export)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines, "expected at least the scenario span"
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert stack.startswith("chaos.scenario")
+            assert int(value) >= 0
+
+    def test_telemetry_summarize_missing_file_fails(self, tmp_path,
+                                                    capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["telemetry", "summarize", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_telemetry_summarize_garbage_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n", encoding="utf-8")
+        assert main(["telemetry", "summarize", str(bad)]) == 2
+        assert "not a telemetry JSONL" in capsys.readouterr().err

@@ -1,0 +1,24 @@
+"""Fixture: DET001 positives — a telemetry recorder backed by wall time.
+
+The anti-pattern the sim-time telemetry design exists to prevent:
+stamping metrics/spans from the host clock makes every export
+non-reproducible.
+"""
+
+import time
+
+
+class WallClockRecorder:
+    """Telemetry stamped from the host — every export differs per run."""
+
+    def __init__(self):
+        self.started_at = time.time()
+        self.events = []
+
+    def event(self, name):
+        """Stamp an event with wall time (the DET001 violation)."""
+        self.events.append((name, time.perf_counter()))
+
+    def span_duration(self, start):
+        """Span edges measured on the host clock drift with load."""
+        return time.monotonic() - start

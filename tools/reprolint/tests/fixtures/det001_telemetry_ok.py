@@ -1,0 +1,34 @@
+"""Fixture: DET001 negatives — telemetry stamped from a simulated clock.
+
+The pattern ``repro.telemetry`` uses: the clock is a plain counter that
+only moves when a simulation driver advances it, so every timestamp —
+and therefore every export — regenerates bit-identically from a seed.
+"""
+
+
+class SimClock:
+    """Simulated seconds; advanced explicitly, never read from the host."""
+
+    def __init__(self, start_s=0.0):
+        self.now_s = start_s
+
+    def advance(self, dt_s):
+        """The only way time moves."""
+        self.now_s += dt_s
+        return self.now_s
+
+
+class SimTimeRecorder:
+    """Telemetry stamped from the sim clock — exports are replayable."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.events = []
+
+    def event(self, name):
+        """Stamp an event with the current simulated instant."""
+        self.events.append((name, self.clock.now_s))
+
+    def span_duration(self, start_s):
+        """Span edges are simulated seconds, stable across hosts."""
+        return self.clock.now_s - start_s
