@@ -36,6 +36,7 @@ Layout
 ``repro.resilience`` link health monitoring and the recovery ladder
 ``repro.transport`` reliable transport: ARQ, adaptive RTO, circuit breaker
 ``repro.cluster``   AP checkpointing, heartbeats, multi-AP failover
+``repro.engine``    sharded, resumable, parallel Monte-Carlo campaigns
 ``repro.telemetry`` sim-time metrics, spans, deterministic exporters
 ``repro.experiments`` one module per paper table/figure
 """
@@ -66,6 +67,15 @@ from .core import (
     PacketCodec,
     PacketError,
     SnrBreakdown,
+)
+from .engine import (
+    Campaign,
+    CampaignPlan,
+    CampaignResult,
+    ProcessPool,
+    ResultStore,
+    SerialExecutor,
+    run_campaign,
 )
 from .faults import (
     FaultEvent,
@@ -105,6 +115,7 @@ from .telemetry import (
     Recorder,
     SimClock,
     TelemetryRecorder,
+    TelemetrySnapshot,
     Tracer,
 )
 from .transport import (
@@ -123,6 +134,9 @@ __all__ = [
     "AskFskConfig",
     "Blocker",
     "CARRIER_FREQUENCY_HZ",
+    "Campaign",
+    "CampaignPlan",
+    "CampaignResult",
     "ChannelResponse",
     "ChaosResult",
     "ChaosSimulation",
@@ -164,13 +178,17 @@ __all__ = [
     "Placement",
     "PlacementSampler",
     "Point",
+    "ProcessPool",
     "Recorder",
     "ReliableLink",
+    "ResultStore",
     "Room",
     "RtoEstimator",
+    "SerialExecutor",
     "SimClock",
     "SnrBreakdown",
     "TelemetryRecorder",
+    "TelemetrySnapshot",
     "TimeModulatedArray",
     "Tracer",
     "comparison_table",
@@ -178,6 +196,7 @@ __all__ = [
     "default_preamble_bits",
     "design_mmx_beams",
     "random_bits",
+    "run_campaign",
     "scenario_injector",
     "trace_paths",
     "two_beam_gains",

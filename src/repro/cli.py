@@ -9,6 +9,10 @@ Commands
 ``chaos --scenario NAME``  fault-injection run: recovery ladder vs static
 ``chaos --ap-crash``       multi-AP failover vs a frozen single AP
 ``chaos ... --json``       same run, but emit the telemetry export (JSONL)
+``chaos all --jobs N``     the scenario sweep across N worker processes
+``campaign EXPERIMENT``    run a sweep as a sharded, resumable campaign
+                           (``--jobs``, ``--shards``, ``--out``,
+                           ``--resume``)
 ``telemetry summarize F``  per-subsystem tables from a JSONL export
 ``telemetry flame F``      collapsed flamegraph stacks from a JSONL export
 ``lint [paths...]``        run the reprolint static analyser (repo checkouts)
@@ -67,6 +71,37 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the run's telemetry export as JSONL "
                             "on stdout instead of the text report")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the '--scenario all' "
+                            "sweep (routed through repro.engine; other "
+                            "runs are single scenarios and stay serial)")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a figure sweep as a sharded, resumable campaign")
+    camp.add_argument("experiment",
+                      choices=["fig10", "fig11", "fig13", "chaos"],
+                      help="which sweep to run")
+    camp.add_argument("--trials", type=int, default=None,
+                      help="trial count (fig11: placements, fig13: "
+                           "trials per node count; fig10's count is "
+                           "its grid, chaos runs every scenario)")
+    camp.add_argument("--seed", type=int, default=0,
+                      help="campaign master seed")
+    camp.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (1 = in-process serial)")
+    camp.add_argument("--shards", type=int, default=None,
+                      help="shard count (default: --jobs); results "
+                           "never depend on it")
+    camp.add_argument("--out", default=None,
+                      help="JSONL result-store path: completed shards "
+                           "are journaled here, crash-safely")
+    camp.add_argument("--resume", action="store_true",
+                      help="allow --out to already exist and resume "
+                           "the campaign it holds")
+    camp.add_argument("--duration", type=float, default=30.0,
+                      help="simulated seconds per scenario "
+                           "(chaos campaigns only)")
 
     tele = sub.add_parser(
         "telemetry", help="inspect sim-time telemetry JSONL exports")
@@ -202,11 +237,15 @@ def _cmd_characterize() -> int:
 
 
 def _cmd_chaos(scenario: str, seed: int, duration: float,
-               ap_crash: bool = False, as_json: bool = False) -> int:
+               ap_crash: bool = False, as_json: bool = False,
+               jobs: int = 1) -> int:
     from .experiments import chaos
     from .faults import SCENARIOS
     from .telemetry import Recorder, to_jsonl
 
+    if jobs < 1:
+        print("repro chaos: --jobs must be at least 1", file=sys.stderr)
+        return 2
     # With --json every run records into one Recorder and the export —
     # the same deterministic JSONL the library writes — goes to stdout.
     recorder = Recorder() if as_json else None
@@ -220,8 +259,13 @@ def _cmd_chaos(scenario: str, seed: int, duration: float,
             print(chaos.render_failover(outcome))
         return 0
     if scenario == "all":
+        executor = None
+        if jobs > 1:
+            from .engine import ProcessPool
+
+            executor = ProcessPool(jobs=jobs)
         outcomes = chaos.run_all(seed=seed, duration_s=duration,
-                                 telemetry=recorder)
+                                 telemetry=recorder, executor=executor)
         if recorder is not None:
             print(to_jsonl(recorder), end="")
         else:
@@ -238,6 +282,79 @@ def _cmd_chaos(scenario: str, seed: int, duration: float,
         print(to_jsonl(recorder), end="")
     else:
         print(chaos.render(outcome))
+    return 0
+
+
+def _cmd_campaign(experiment: str, trials: int | None, seed: int,
+                  jobs: int, shards: int | None, out: str | None,
+                  resume: bool, duration: float) -> int:
+    from .engine import ProcessPool, SerialExecutor, StoreError
+
+    if jobs < 1:
+        print("repro campaign: --jobs must be at least 1",
+              file=sys.stderr)
+        return 2
+    if shards is not None and shards < 1:
+        print("repro campaign: --shards must be at least 1",
+              file=sys.stderr)
+        return 2
+    if resume and out is None:
+        print("repro campaign: --resume needs --out (the store to "
+              "resume from)", file=sys.stderr)
+        return 2
+    if out is not None:
+        if experiment == "chaos":
+            print("repro campaign: chaos outcomes are rich objects, "
+                  "not JSON rows; --out is not supported for the "
+                  "chaos sweep", file=sys.stderr)
+            return 2
+        if Path(out).exists() and not resume:
+            print(f"repro campaign: {out} already exists; pass "
+                  "--resume to continue that campaign, or choose a "
+                  "fresh path", file=sys.stderr)
+            return 2
+    if trials is not None and experiment == "fig10":
+        print("repro campaign: fig10's trial count is its placement "
+              "grid; --trials does not apply", file=sys.stderr)
+        return 2
+
+    executor = ProcessPool(jobs=jobs) if jobs > 1 else SerialExecutor()
+    num_shards = shards if shards is not None else jobs
+
+    try:
+        if experiment == "chaos":
+            from .experiments import chaos
+
+            print(chaos.render_all(chaos.run_all(
+                seed=seed, duration_s=duration, executor=executor,
+                num_shards=num_shards)))
+        elif experiment == "fig10":
+            from .experiments import fig10_snr_map
+
+            print(fig10_snr_map.render(fig10_snr_map.run(
+                seed=seed, executor=executor, num_shards=num_shards,
+                store=out)))
+        elif experiment == "fig11":
+            from .experiments import fig11_ber_cdf
+
+            print(fig11_ber_cdf.render(fig11_ber_cdf.run(
+                seed=seed,
+                num_placements=trials if trials is not None else 30,
+                executor=executor, num_shards=num_shards, store=out)))
+        elif experiment == "fig13":
+            from .experiments import fig13_multinode
+
+            print(fig13_multinode.render(fig13_multinode.run(
+                seed=seed,
+                trials_per_count=trials if trials is not None else 30,
+                executor=executor, num_shards=num_shards, store=out)))
+        else:
+            raise AssertionError("unreachable")
+    except StoreError as exc:
+        print(f"repro campaign: {exc}", file=sys.stderr)
+        return 2
+    if out is not None:
+        print(f"\ncampaign store: {out}", file=sys.stderr)
     return 0
 
 
@@ -300,7 +417,11 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_characterize()
     if args.command == "chaos":
         return _cmd_chaos(args.scenario, args.seed, args.duration,
-                          args.ap_crash, args.as_json)
+                          args.ap_crash, args.as_json, args.jobs)
+    if args.command == "campaign":
+        return _cmd_campaign(args.experiment, args.trials, args.seed,
+                             args.jobs, args.shards, args.out,
+                             args.resume, args.duration)
     if args.command == "telemetry":
         return _cmd_telemetry(args.telemetry_command, args.path)
     if args.command == "lint":

@@ -1,0 +1,65 @@
+"""``repro.engine`` — sharded, resumable Monte-Carlo campaign execution.
+
+Every paper figure is a Monte-Carlo sweep (30 placements in §9.3, 100
+runs in §9.5), and the serial
+:class:`~repro.sim.runner.MonteCarloRunner` bounds them all to one core.
+This package is the scale-out layer: it turns any
+``trial_fn(rng, index) -> dict`` into a campaign that is
+
+* **sharded** — a :class:`CampaignPlan` spawns every trial's seed from
+  one ``SeedSequence`` (the runner's exact derivation) and partitions
+  trials into contiguous shards;
+* **parallel** — a :class:`ProcessPool` fans shards out across worker
+  processes, with :class:`SerialExecutor` as the in-process reference;
+* **crash-safe** — a :class:`ResultStore` journals each completed shard
+  to JSONL with SHA-256 integrity hashes, so a killed campaign resumes
+  executing only the unfinished shards;
+* **deterministic** — the merge restores serial trial order and absorbs
+  per-shard telemetry snapshots in shard order, making aggregate
+  results and telemetry exports byte-identical to a serial run for the
+  same master seed and plan.
+
+Usage
+-----
+>>> from repro.engine import ProcessPool, run_campaign
+>>> def trial(rng, index):
+...     return {"x": float(rng.uniform())}
+>>> result = run_campaign(trial, num_trials=100, master_seed=7,
+...                       num_shards=8, executor=ProcessPool(jobs=4))
+>>> result.summary("x")["mean"]  # doctest: +SKIP
+0.49...
+
+See ``docs/scaling.md`` for the campaign model, determinism guarantees
+and resume semantics.
+"""
+
+from .campaign import Campaign, CampaignResult, EngineError, run_campaign
+from .plan import CampaignPlan, ShardSpec, TrialSpec
+from .pool import (
+    ProcessPool,
+    SerialExecutor,
+    ShardExecutor,
+    default_job_count,
+)
+from .shard import ShardResult, TrialFn, run_shard
+from .store import STORE_SCHEMA_VERSION, ResultStore, StoreError
+
+__all__ = [
+    "Campaign",
+    "CampaignPlan",
+    "CampaignResult",
+    "EngineError",
+    "ProcessPool",
+    "ResultStore",
+    "STORE_SCHEMA_VERSION",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ShardResult",
+    "ShardSpec",
+    "StoreError",
+    "TrialFn",
+    "TrialSpec",
+    "default_job_count",
+    "run_campaign",
+    "run_shard",
+]

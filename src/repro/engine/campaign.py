@@ -1,0 +1,175 @@
+"""The campaign driver: plan, execute, journal, resume, merge.
+
+:class:`Campaign` turns any ``trial_fn(rng, index) -> dict`` into a
+sharded Monte-Carlo campaign:
+
+1. a :class:`~repro.engine.plan.CampaignPlan` fixes every trial's seed
+   and the shard partition up front;
+2. an executor (:class:`~repro.engine.pool.SerialExecutor` by default,
+   :class:`~repro.engine.pool.ProcessPool` for fan-out) runs the shards;
+3. an optional :class:`~repro.engine.store.ResultStore` journals each
+   shard as it completes, so a killed campaign resumes executing *only*
+   the unfinished shards;
+4. the merge re-sorts shards into index order and absorbs per-shard
+   telemetry snapshots in shard order — aggregate results and telemetry
+   exports are byte-identical for the same master seed and shard plan,
+   whichever executor ran the shards and however many times the
+   campaign was interrupted and resumed.
+
+Determinism contract: shard count changes *partitioning*, never seeds —
+``num_shards=1`` and ``num_shards=64`` produce identical trial values
+(and identical exports for the engine's own ``sim.trial`` telemetry,
+which records no float-summed histograms across shard boundaries).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..sim.runner import MonteCarloRunner, TrialResult
+from ..telemetry import NullRecorder, TelemetryRecorder
+from .plan import CampaignPlan
+from .pool import SerialExecutor, ShardExecutor
+from .shard import ShardResult, TrialFn
+from .store import ResultStore
+
+__all__ = ["Campaign", "CampaignResult", "EngineError", "run_campaign"]
+
+
+class EngineError(Exception):
+    """Raised when a campaign cannot run or resume coherently."""
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """A finished campaign: merged trial results plus provenance."""
+
+    plan: CampaignPlan
+    results: tuple[TrialResult, ...]
+    executed_shards: tuple[int, ...]
+    """Shards actually run by this invocation, in completion order."""
+
+    resumed_shards: tuple[int, ...]
+    """Shards recovered from the result store instead of re-run."""
+
+    def collect(self, key: str) -> np.ndarray:
+        """One scalar metric across all trials, in index order."""
+        return MonteCarloRunner.collect(list(self.results), key)
+
+    def summary(self, key: str) -> dict[str, float]:
+        """Mean / median / percentiles of ``key`` across trials."""
+        return MonteCarloRunner.summary(list(self.results), key)
+
+    @property
+    def num_trials(self) -> int:
+        """Total trials in the campaign."""
+        return len(self.results)
+
+
+class Campaign:
+    """One sharded, resumable Monte-Carlo campaign."""
+
+    def __init__(self, trial_fn: TrialFn, num_trials: int,
+                 master_seed: int = 0, num_shards: int = 1,
+                 executor: ShardExecutor | None = None,
+                 store: ResultStore | str | Path | None = None,
+                 telemetry: TelemetryRecorder | None = None) -> None:
+        self.trial_fn = trial_fn
+        self.plan = CampaignPlan.build(master_seed=master_seed,
+                                       num_trials=num_trials,
+                                       num_shards=num_shards)
+        self.executor: ShardExecutor = (executor if executor is not None
+                                        else SerialExecutor())
+        self.store = (store if isinstance(store, ResultStore)
+                      or store is None else ResultStore(store))
+        self.telemetry = (telemetry if telemetry is not None
+                          else NullRecorder())
+
+    def run(self,
+            progress: Callable[[ShardResult], None] | None = None
+            ) -> CampaignResult:
+        """Execute (or resume) the campaign and merge the results.
+
+        ``progress`` (optional) fires with each :class:`ShardResult`
+        the moment it completes — after it has been journaled, so a
+        progress consumer never sees a shard the store could lose.
+        Raises :class:`EngineError` when a telemetry-enabled campaign
+        resumes from a journal written without telemetry (the merged
+        export would silently miss the resumed trials).
+        """
+        record_telemetry = self.telemetry.enabled
+        completed: dict[int, ShardResult] = {}
+        if self.store is not None:
+            completed = self.store.load_or_create(self.plan)
+        resumed = tuple(sorted(completed))
+        if record_telemetry:
+            for shard_id in resumed:
+                if completed[shard_id].telemetry is None:
+                    raise EngineError(
+                        f"shard {shard_id} in the result store was "
+                        "journaled without telemetry; re-run the "
+                        "campaign untraced or start a fresh store")
+        pending = [shard for shard in self.plan.shards
+                   if shard.shard_id not in completed]
+        executed: list[int] = []
+        for result in self.executor.run_shards(
+                self.trial_fn, pending, self.plan.num_trials,
+                record_telemetry=record_telemetry):
+            if self.store is not None:
+                self.store.record_shard(result)
+            completed[result.shard_id] = result
+            executed.append(result.shard_id)
+            if progress is not None:
+                progress(result)
+        return self._merge(completed, tuple(executed), resumed)
+
+    def _merge(self, completed: dict[int, ShardResult],
+               executed: tuple[int, ...], resumed: tuple[int, ...]
+               ) -> CampaignResult:
+        """Deterministic merge: shard order restores serial order."""
+        missing = [shard.shard_id for shard in self.plan.shards
+                   if shard.shard_id not in completed]
+        if missing:
+            raise EngineError(
+                f"campaign incomplete: shards {missing} never "
+                "finished")
+        results: list[TrialResult] = []
+        for shard in self.plan.shards:
+            shard_result = completed[shard.shard_id]
+            for index, seed, values in shard_result.trials:
+                results.append(TrialResult(index=index, seed=seed,
+                                           values=values))
+            snapshot = shard_result.telemetry
+            if self.telemetry.enabled and snapshot is not None:
+                self.telemetry.absorb(snapshot)
+        results.sort(key=lambda r: r.index)
+        expected = self.plan.num_trials
+        if [r.index for r in results] != list(range(expected)):
+            raise EngineError(
+                "merged trial indices are not the contiguous range "
+                f"0..{expected - 1}; the result store does not match "
+                "this campaign")
+        return CampaignResult(plan=self.plan, results=tuple(results),
+                              executed_shards=executed,
+                              resumed_shards=resumed)
+
+
+def run_campaign(trial_fn: TrialFn, num_trials: int,
+                 master_seed: int = 0, num_shards: int = 1,
+                 executor: ShardExecutor | None = None,
+                 store: ResultStore | str | Path | None = None,
+                 telemetry: TelemetryRecorder | None = None,
+                 ) -> CampaignResult:
+    """One-call convenience wrapper around :class:`Campaign`.
+
+    Builds the campaign and runs it; see :class:`Campaign` for the
+    parameter semantics.
+    """
+    return Campaign(trial_fn, num_trials, master_seed=master_seed,
+                    num_shards=num_shards, executor=executor,
+                    store=store, telemetry=telemetry).run()

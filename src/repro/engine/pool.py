@@ -1,0 +1,124 @@
+"""Executors: where shards actually run.
+
+Two implementations of one tiny protocol (:class:`ShardExecutor`):
+
+* :class:`SerialExecutor` — runs shards in-process, in shard order.
+  The fallback and the reference: campaign results and telemetry under
+  any other executor are pinned byte-identical to this one.
+* :class:`ProcessPool` — fans shards out over ``jobs`` worker processes
+  via :class:`concurrent.futures.ProcessPoolExecutor` and yields results
+  in *completion* order, so the campaign can journal each shard the
+  moment it lands (crash-safety) while the final merge re-sorts by
+  shard id (determinism).
+
+Workers receive everything they need — the trial function, the shard's
+planned seeds, the campaign trial count — as pickled arguments; they
+consult no global state, no wall clock and no process-local RNG, so a
+shard computes the same result on any worker, any host, any run.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Protocol
+
+from .plan import ShardSpec
+from .shard import ShardResult, TrialFn, run_shard
+
+__all__ = ["ProcessPool", "SerialExecutor", "ShardExecutor",
+           "default_job_count"]
+
+
+def default_job_count() -> int:
+    """A sensible worker count: the CPUs this process may schedule on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+class ShardExecutor(Protocol):
+    """The executor contract :class:`~repro.engine.Campaign` drives."""
+
+    def run_shards(self, trial_fn: TrialFn,
+                   shards: Sequence[ShardSpec], of_total: int,
+                   record_telemetry: bool = False
+                   ) -> Iterator[ShardResult]:
+        """Execute ``shards``, yielding each result as it completes."""
+        ...
+
+
+class SerialExecutor:
+    """In-process execution, one shard after another, in shard order.
+
+    No pickling constraints: closures and lambdas are fine as trial
+    functions.  This is the default backend — and the behavioural
+    reference every parallel executor is tested against.
+    """
+
+    def run_shards(self, trial_fn: TrialFn,
+                   shards: Sequence[ShardSpec], of_total: int,
+                   record_telemetry: bool = False
+                   ) -> Iterator[ShardResult]:
+        """Yield each shard's result immediately after running it."""
+        for shard in shards:
+            yield run_shard(trial_fn, shard, of_total,
+                            record_telemetry=record_telemetry)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+def _execute_shard(trial_fn: TrialFn, shard: ShardSpec, of_total: int,
+                   record_telemetry: bool) -> ShardResult:
+    """Worker-process entry point (module-level so it pickles)."""
+    return run_shard(trial_fn, shard, of_total,
+                     record_telemetry=record_telemetry)
+
+
+class ProcessPool:
+    """Shard fan-out over a pool of worker processes.
+
+    ``jobs`` workers execute shards concurrently; results stream back
+    in completion order.  The trial function (and its partial-bound
+    arguments) must be picklable.  Determinism is unaffected by worker
+    count or completion order: every trial's seed is fixed by the
+    :class:`~repro.engine.plan.CampaignPlan`, and the campaign merge
+    re-sorts shards by id.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("a process pool needs at least one worker")
+        self.jobs = jobs if jobs is not None else default_job_count()
+
+    def run_shards(self, trial_fn: TrialFn,
+                   shards: Sequence[ShardSpec], of_total: int,
+                   record_telemetry: bool = False
+                   ) -> Iterator[ShardResult]:
+        """Yield shard results as workers complete them.
+
+        Uses at most ``jobs`` workers (fewer when there are fewer
+        shards).  A failure in any trial propagates out of the
+        iterator; shards already yielded remain journaled by the
+        caller, which is exactly what makes a crashed campaign
+        resumable.
+        """
+        if not shards:
+            return
+        workers = min(self.jobs, len(shards))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            pending = {
+                executor.submit(_execute_shard, trial_fn, shard,
+                                of_total, record_telemetry)
+                for shard in shards}
+            while pending:
+                done, pending = wait(pending,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+
+    def __repr__(self) -> str:
+        return f"ProcessPool(jobs={self.jobs})"

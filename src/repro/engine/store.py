@@ -1,0 +1,205 @@
+"""Crash-safe campaign journal: completed shards on disk, verified.
+
+The :class:`ResultStore` is an append-only JSONL file.  Line one is the
+campaign header (schema version + the plan's SHA-256 fingerprint); every
+subsequent line is one completed shard, carrying its own SHA-256
+integrity hash over the canonical serialisation — the same
+hash-the-canonical-JSON pattern :mod:`repro.cluster.checkpoint` uses for
+AP state.  The failure model:
+
+* a campaign killed mid-run leaves at worst one torn final line; the
+  loader drops it and the campaign re-runs just that shard;
+* a journal whose *interior* is corrupt (bit rot, tampering, truncation
+  anywhere but the tail) is rejected with :class:`StoreError` — resume
+  never silently mixes good and bad shards;
+* a journal written by a *different* campaign (other seed, trial count
+  or shard layout) fails the fingerprint check and is rejected rather
+  than partially reused.
+
+Each shard line is flushed and fsynced as it lands, so the journal is
+never more than one shard behind the computation it protects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..telemetry import TelemetrySnapshot
+from .plan import CampaignPlan
+from .shard import ShardResult
+
+__all__ = ["STORE_SCHEMA_VERSION", "ResultStore", "StoreError"]
+
+STORE_SCHEMA_VERSION = 1
+"""Bump on any change to the journal line layout; the loader refuses
+newer (unknown) schemas rather than misreading them."""
+
+
+class StoreError(Exception):
+    """Raised when a campaign journal is unreadable or mismatched."""
+
+
+def _canonical(payload: dict[str, Any]) -> str:
+    """Canonical one-line JSON: sorted keys, fixed separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: dict[str, Any]) -> str:
+    """SHA-256 over the canonical serialisation of ``payload``."""
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+class ResultStore:
+    """Append-only JSONL journal of one campaign's completed shards."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # --- writing ----------------------------------------------------------
+
+    def _append(self, payload: dict[str, Any]) -> None:
+        """Append one canonical line, flushed and fsynced to disk."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(_canonical(payload) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def create(self, plan: CampaignPlan) -> None:
+        """Start a fresh journal for ``plan`` (truncates any old file)."""
+        header = {
+            "record": "campaign",
+            "format": "repro-engine",
+            "version": STORE_SCHEMA_VERSION,
+            "fingerprint": plan.fingerprint(),
+            "master_seed": plan.master_seed,
+            "num_trials": plan.num_trials,
+            "num_shards": plan.num_shards,
+        }
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(_canonical(header) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def record_shard(self, result: ShardResult) -> None:
+        """Journal one completed shard with an integrity hash."""
+        payload: dict[str, Any] = {
+            "record": "shard",
+            "shard_id": result.shard_id,
+            "trials": [[index, seed, values]
+                       for index, seed, values in result.trials],
+            "telemetry": (None if result.telemetry is None
+                          else result.telemetry.to_dict()),
+        }
+        try:
+            payload["integrity"] = _digest(payload)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"shard {result.shard_id} values are not "
+                f"JSON-serialisable: {exc}") from exc
+        self._append(payload)
+
+    # --- reading ----------------------------------------------------------
+
+    def load_or_create(self, plan: CampaignPlan
+                       ) -> dict[int, ShardResult]:
+        """Open the journal for ``plan``; return already-completed shards.
+
+        Creates a fresh journal (and returns ``{}``) when the file does
+        not exist.  When it does, the header's fingerprint must match
+        the plan; a torn final line is dropped silently (the crash-safe
+        append case) while any other corruption raises
+        :class:`StoreError`.
+        """
+        if not self.path.exists():
+            self.create(plan)
+            return {}
+        return self._load(plan)
+
+    def _load(self, plan: CampaignPlan) -> dict[int, ShardResult]:
+        """Parse and verify an existing journal against ``plan``."""
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise StoreError(f"{self.path} is empty, not a campaign "
+                             "journal")
+        header = self._parse_header(lines[0], plan)
+        completed: dict[int, ShardResult] = {}
+        for position, line in enumerate(lines[1:], start=2):
+            is_last = position == len(lines)
+            result = self._parse_shard(line, position, is_last)
+            if result is None:  # torn tail, dropped
+                continue
+            if not 0 <= result.shard_id < header["num_shards"]:
+                raise StoreError(
+                    f"{self.path}:{position}: shard id "
+                    f"{result.shard_id} outside the campaign's "
+                    f"{header['num_shards']} shards")
+            completed[result.shard_id] = result
+        return completed
+
+    def _parse_header(self, line: str, plan: CampaignPlan
+                      ) -> dict[str, Any]:
+        """Validate the campaign header line against the plan."""
+        try:
+            header = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"{self.path}:1: campaign header is not JSON: "
+                f"{exc}") from exc
+        if not isinstance(header, dict) \
+                or header.get("record") != "campaign":
+            raise StoreError(f"{self.path}:1: not a campaign journal "
+                             "(missing header line)")
+        version = header.get("version")
+        if version != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"{self.path}: unsupported journal schema {version!r} "
+                f"(this build reads {STORE_SCHEMA_VERSION})")
+        if header.get("fingerprint") != plan.fingerprint():
+            raise StoreError(
+                f"{self.path} was written by a different campaign "
+                f"(seed {header.get('master_seed')!r}, "
+                f"{header.get('num_trials')!r} trials, "
+                f"{header.get('num_shards')!r} shards); refusing to "
+                "resume — remove the file or change --out")
+        return header
+
+    def _parse_shard(self, line: str, position: int, is_last: bool
+                     ) -> ShardResult | None:
+        """One shard line -> :class:`ShardResult`; ``None`` if torn tail."""
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("shard line is not an object")
+            stored = payload.pop("integrity", None)
+            if stored is None:
+                raise ValueError("shard line carries no integrity hash")
+            if _digest(payload) != stored:
+                raise ValueError("shard integrity hash mismatch")
+            if payload.get("record") != "shard":
+                raise ValueError(
+                    f"unexpected record {payload.get('record')!r}")
+            telemetry = payload["telemetry"]
+            return ShardResult(
+                shard_id=int(payload["shard_id"]),
+                trials=tuple((int(index), int(seed), dict(values))
+                             for index, seed, values
+                             in payload["trials"]),
+                telemetry=(None if telemetry is None
+                           else TelemetrySnapshot.from_dict(telemetry)),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            if is_last:
+                # The crash-safe case: an append died mid-line.  The
+                # shard simply re-runs.
+                return None
+            raise StoreError(
+                f"{self.path}:{position}: corrupt shard record "
+                f"({exc}); refusing to resume from a damaged "
+                "journal") from exc

@@ -16,14 +16,19 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
+from functools import partial
+from typing import Any
+
+import numpy as np
 
 from ..cluster import FailoverResult
 from ..faults import scenario_injector
 from ..resilience import ChaosResult, ChaosSimulation
-from ..telemetry import TelemetryRecorder
+from ..telemetry import Recorder, TelemetryRecorder, TelemetrySnapshot
 
 __all__ = ["ChaosRunResult", "FailoverRunResult", "run", "run_all",
-           "run_failover", "render", "render_all", "render_failover"]
+           "run_failover", "render", "render_all", "render_failover",
+           "scenario_trial"]
 
 DEFAULT_DISTANCE_M = 4.0
 """Node-AP distance for the chaos placement: mid-room, facing, well
@@ -95,23 +100,88 @@ def run(scenario: str = "kitchen-sink", seed: int = 0,
                           duration_s=duration_s, result=result)
 
 
+def scenario_trial(rng: np.random.Generator, index: int,
+                   scenario_names: tuple[str, ...] = (),
+                   seed: int = 0, duration_s: float = 30.0,
+                   quiet_tail_s: float = 3.0,
+                   distance_m: float = DEFAULT_DISTANCE_M,
+                   record_telemetry: bool = False) -> dict[str, Any]:
+    """One chaos sweep trial: a single named scenario, worker-side.
+
+    The engine's per-trial ``rng`` is deliberately unused: every
+    scenario re-derives its fault schedule and supervisor jitter from
+    the sweep's master ``seed`` (exactly what :func:`run` does
+    serially), so a parallel sweep produces bit-identical
+    :class:`ChaosRunResult` objects.  When ``record_telemetry`` is set
+    the scenario runs against a private worker
+    :class:`~repro.telemetry.Recorder` whose contents come back as a
+    :class:`~repro.telemetry.TelemetrySnapshot` for the driver to
+    absorb.  Module-level so it pickles into
+    :class:`~repro.engine.ProcessPool` workers.
+    """
+    del rng
+    name = scenario_names[index]
+    worker_tel = Recorder() if record_telemetry else None
+    outcome = run(name, seed=seed, duration_s=duration_s,
+                  quiet_tail_s=quiet_tail_s, distance_m=distance_m,
+                  telemetry=worker_tel)
+    snapshot = (TelemetrySnapshot.capture(worker_tel)
+                if worker_tel is not None else None)
+    return {"outcome": outcome, "telemetry": snapshot}
+
+
 def run_all(seed: int = 0, duration_s: float = 30.0,
             quiet_tail_s: float = 3.0,
             distance_m: float = DEFAULT_DISTANCE_M,
-            telemetry: TelemetryRecorder | None = None
-            ) -> list[ChaosRunResult]:
+            telemetry: TelemetryRecorder | None = None,
+            executor=None,
+            num_shards: int | None = None) -> list[ChaosRunResult]:
     """Every registered scenario from one master seed.
 
     One recorder (``telemetry``) spans the whole sweep, so scenario
     spans stack side by side on a single cumulative sim-time axis —
     exactly the shape the flamegraph export collapses.
+
+    ``executor`` (optional) fans the scenarios out through
+    :class:`repro.engine.Campaign` — e.g. ``ProcessPool(jobs=4)`` runs
+    four scenarios at once.  Results are bit-identical to the serial
+    sweep (each scenario derives everything from ``seed``), and each
+    worker's telemetry snapshot is shifted onto the shared recorder's
+    cumulative clock and absorbed in scenario order, so the merged
+    timeline matches the serial one span-for-span and event-for-event
+    (same ids, nesting, order, values).  Timestamps alone can differ
+    in the last ulp: the serial clock folds float time-steps across
+    scenario boundaries, while the merge computes offset + local time.
+    No result store rides along: scenario outcomes are rich objects,
+    not JSON rows, and the sweep is seconds long.
     """
     from ..faults import SCENARIOS
 
-    return [run(name, seed=seed, duration_s=duration_s,
-                quiet_tail_s=quiet_tail_s, distance_m=distance_m,
-                telemetry=telemetry)
-            for name in sorted(SCENARIOS)]
+    names = tuple(sorted(SCENARIOS))
+    if executor is None:
+        return [run(name, seed=seed, duration_s=duration_s,
+                    quiet_tail_s=quiet_tail_s, distance_m=distance_m,
+                    telemetry=telemetry)
+                for name in names]
+    from ..engine import Campaign
+
+    tel = telemetry
+    trial_fn = partial(scenario_trial, scenario_names=names, seed=seed,
+                       duration_s=duration_s, quiet_tail_s=quiet_tail_s,
+                       distance_m=distance_m,
+                       record_telemetry=bool(tel is not None
+                                             and tel.enabled))
+    if num_shards is None:
+        num_shards = max(1, getattr(executor, "jobs", 1))
+    outcome = Campaign(trial_fn, len(names), master_seed=seed,
+                       num_shards=num_shards, executor=executor).run()
+    results: list[ChaosRunResult] = []
+    for trial in outcome.results:
+        snapshot = trial["telemetry"]
+        if snapshot is not None and tel is not None:
+            tel.absorb(snapshot.shifted(tel.clock.now_s))
+        results.append(trial["outcome"])
+    return results
 
 
 @dataclass(frozen=True)

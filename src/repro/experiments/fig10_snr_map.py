@@ -7,16 +7,24 @@ blocking the node-AP line-of-sight for the entire experiment.
 Published shape: without OTAM (node uses only Beam 1, modulates at the
 radio) many locations fall below 5 dB; with OTAM the same locations reach
 ~11 dB or more, with the map topping out around 30 dB.
+
+The grid sweep runs as a :mod:`repro.engine` campaign — one trial per
+grid cell, each with its own child seed — so a fine-grid map
+(``grid_step_m=0.1`` is ~2000 cells) parallelises across cores with the
+same values as the serial default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Any
 
 import numpy as np
 
 from ..constants import EVAL_ROOM_LENGTH_M, EVAL_ROOM_WIDTH_M
 from ..core.link import OtamLink
+from ..engine import Campaign, ResultStore, ShardExecutor
 from ..sim.environment import Blocker, default_lab_room
 from ..sim.geometry import Point, angle_of, normalize_angle
 from ..sim.placement import Placement
@@ -55,9 +63,62 @@ class Fig10Result:
         return float(np.nanmedian(diff))
 
 
+def grid_axes(grid_step_m: float) -> tuple[np.ndarray, np.ndarray]:
+    """The sweep's grid-cell centres (x and y axes)."""
+    xs = np.arange(0.4, EVAL_ROOM_WIDTH_M - 0.3, grid_step_m)
+    ys = np.arange(0.6, EVAL_ROOM_LENGTH_M - 0.3, grid_step_m)
+    return xs, ys
+
+
+def grid_cell_trial(rng: np.random.Generator, index: int,
+                    grid_step_m: float = 0.5,
+                    blocker_position: tuple[float, float] = (2.0, 1.2),
+                    num_carriers: int = 3) -> dict[str, Any]:
+    """One Fig. 10 trial: both scenarios' SNR at a single grid cell.
+
+    ``index`` is the row-major cell number (``iy * len(xs) + ix``).
+    Cells inside the standing person's footprint return ``None`` for
+    both SNRs — they become the NaN holes in the published map.  The
+    cell's ±60° orientation offset comes from its own child generator,
+    so a cell's value never depends on how many cells ran before it
+    (or on which shard ran it).  Module-level so it pickles into
+    :class:`~repro.engine.ProcessPool` workers.
+    """
+    xs, ys = grid_axes(grid_step_m)
+    iy, ix = divmod(index, xs.size)
+    node = Point(float(xs[ix]), float(ys[iy]))
+    if (node - Point(*blocker_position)).norm() < 0.45:
+        return {"snr_without_db": None, "snr_with_db": None}
+    room = default_lab_room()
+    room.add_blocker(Blocker(Point(*blocker_position)))
+    ap = Point(EVAL_ROOM_WIDTH_M / 2.0, 0.15)
+    toward_ap = angle_of(node, ap)
+    offset = float(rng.uniform(np.radians(-60), np.radians(60)))
+    placement = Placement(
+        node_position=node,
+        node_orientation_rad=normalize_angle(toward_ap + offset),
+        ap_position=ap,
+        ap_orientation_rad=np.pi / 2.0,
+    )
+    carriers = np.linspace(24.0e9, 24.25e9, num_carriers + 2)[1:-1]
+    wo_lin, w_lin = [], []
+    for carrier in carriers:
+        breakdown = OtamLink(placement=placement, room=room,
+                             frequency_hz=float(carrier)).snr_breakdown()
+        wo_lin.append(float(db_to_linear(breakdown.no_otam_snr_db)))
+        w_lin.append(float(db_to_linear(breakdown.otam_snr_db)))
+    return {
+        "snr_without_db": float(linear_to_db(np.mean(wo_lin))),
+        "snr_with_db": float(linear_to_db(np.mean(w_lin))),
+    }
+
+
 def run(seed: int = 0, grid_step_m: float = 0.5,
         blocker_position: tuple[float, float] = (2.0, 1.2),
-        num_carriers: int = 3) -> Fig10Result:
+        num_carriers: int = 3,
+        executor: ShardExecutor | None = None,
+        num_shards: int | None = None,
+        store: ResultStore | str | None = None) -> Fig10Result:
     """Sweep a placement grid with a persistent standing blocker.
 
     One person stands at ``blocker_position`` for the entire sweep
@@ -73,41 +134,28 @@ def run(seed: int = 0, grid_step_m: float = 0.5,
     the ISM band, as a measurement campaign's frequency diversity does —
     a single-carrier cut would be speckled by multipath fades the
     paper's averaged measurements do not show.
-    """
-    rng = np.random.default_rng(seed)
-    room = default_lab_room()
-    room.add_blocker(Blocker(Point(*blocker_position)))
-    xs = np.arange(0.4, EVAL_ROOM_WIDTH_M - 0.3, grid_step_m)
-    ys = np.arange(0.6, EVAL_ROOM_LENGTH_M - 0.3, grid_step_m)
-    ap = Point(EVAL_ROOM_WIDTH_M / 2.0, 0.15)
-    ap_orientation = np.pi / 2.0
 
+    The grid runs as an engine campaign (one trial per cell), so
+    ``executor=ProcessPool(...)`` parallelises it and ``store=`` makes
+    it resumable, with values independent of both.
+    """
+    xs, ys = grid_axes(grid_step_m)
+    trial_fn = partial(grid_cell_trial, grid_step_m=float(grid_step_m),
+                       blocker_position=(float(blocker_position[0]),
+                                         float(blocker_position[1])),
+                       num_carriers=num_carriers)
+    if num_shards is None:
+        num_shards = max(1, getattr(executor, "jobs", 1))
+    outcome = Campaign(trial_fn, int(xs.size * ys.size), master_seed=seed,
+                       num_shards=num_shards, executor=executor,
+                       store=store).run()
     without = np.full((ys.size, xs.size), np.nan)
     with_otam = np.full((ys.size, xs.size), np.nan)
-    for iy, y in enumerate(ys):
-        for ix, x in enumerate(xs):
-            node = Point(float(x), float(y))
-            if (node - Point(*blocker_position)).norm() < 0.45:
-                continue  # cannot place the node inside the person
-            toward_ap = angle_of(node, ap)
-            offset = float(rng.uniform(np.radians(-60), np.radians(60)))
-            placement = Placement(
-                node_position=node,
-                node_orientation_rad=normalize_angle(toward_ap + offset),
-                ap_position=ap,
-                ap_orientation_rad=ap_orientation,
-            )
-            carriers = np.linspace(24.0e9, 24.25e9, num_carriers + 2)[1:-1]
-            wo_lin, w_lin = [], []
-            for carrier in carriers:
-                breakdown = OtamLink(placement=placement, room=room,
-                                     frequency_hz=float(carrier)
-                                     ).snr_breakdown()
-                wo_lin.append(float(db_to_linear(breakdown.no_otam_snr_db)))
-                w_lin.append(float(db_to_linear(breakdown.otam_snr_db)))
-            without[iy, ix] = linear_to_db(np.mean(wo_lin))
-            with_otam[iy, ix] = linear_to_db(np.mean(w_lin))
-    room.clear_blockers()
+    for result in outcome.results:
+        iy, ix = divmod(result.index, xs.size)
+        if result["snr_without_db"] is not None:
+            without[iy, ix] = result["snr_without_db"]
+            with_otam[iy, ix] = result["snr_with_db"]
     return Fig10Result(x_m=xs, y_m=ys,
                        snr_without_otam_db=without,
                        snr_with_otam_db=with_otam)

@@ -7,15 +7,24 @@ on the ASK modulation".  We do exactly that with the simulated SNRs.
 
 Published shape: without OTAM median BER ~1e-5 and 90th percentile ~0.3;
 with OTAM median ~1e-12 and 90th percentile ~1e-3.
+
+The sweep runs as a :mod:`repro.engine` campaign: each placement is one
+independently-seeded trial, so ``run(..., executor=ProcessPool(4))``
+fans the 30 placements out across cores (or thousands of placements,
+for the dense-deployment studies the paper motivates) with results
+identical to the serial default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Any
 
 import numpy as np
 
 from ..core.link import OtamLink
+from ..engine import Campaign, ResultStore, ShardExecutor
 from ..sim.environment import Blocker, default_lab_room
 from ..sim.geometry import Point
 from ..sim.placement import PlacementSampler
@@ -51,37 +60,60 @@ class Fig11Result:
         return float(np.percentile(self.ber_without_otam, 90))
 
 
-def run(seed: int = 0, num_placements: int = 30,
-        blocker_position: tuple[float, float] = (2.0, 1.2),
-        num_carriers: int = 3) -> Fig11Result:
-    """Sample placements, convert SNR to BER via the closed-form tables.
+def placement_trial(rng: np.random.Generator, index: int,
+                    blocker_position: tuple[float, float] = (2.0, 1.2),
+                    num_carriers: int = 3) -> dict[str, Any]:
+    """One Fig. 11 trial: a random placement's BER for both scenarios.
 
-    Same testbed as Fig. 10: a person stands at ``blocker_position``
-    for the whole experiment, so the placements whose LoS crosses them
-    are blocked and the rest are clear — the mixture that produces the
-    paper's long-tailed without-OTAM CDF.
+    A person stands at ``blocker_position`` for the whole experiment,
+    so placements whose LoS crosses them are blocked and the rest are
+    clear — the mixture that produces the paper's long-tailed
+    without-OTAM CDF.  BER is averaged over ``num_carriers`` carriers —
+    each placement's channel was measured with frequency diversity, as
+    in Fig. 10.  Module-level (and closed over only picklable
+    parameters) so it runs under a :class:`~repro.engine.ProcessPool`.
     """
-    rng = np.random.default_rng(seed)
     room = default_lab_room()
     room.add_blocker(Blocker(Point(*blocker_position)))
-    sampler = PlacementSampler(room, rng)
-    with_otam, without = [], []
+    placement = PlacementSampler(room, rng).sample()
     carriers = np.linspace(24.0e9, 24.25e9, num_carriers + 2)[1:-1]
-    for i in range(num_placements):
-        placement = sampler.sample()
-        # Average BER over carriers — each placement's channel was
-        # measured with frequency diversity, as in Fig. 10.
-        ber_w, ber_wo = [], []
-        for carrier in carriers:
-            breakdown = OtamLink(placement=placement, room=room,
-                                 frequency_hz=float(carrier)).snr_breakdown()
-            ber_w.append(breakdown.ber_with_otam())
-            ber_wo.append(breakdown.ber_without_otam())
-        with_otam.append(max(float(np.mean(ber_w)), BER_FLOOR))
-        without.append(max(float(np.mean(ber_wo)), BER_FLOOR))
-    room.clear_blockers()
-    return Fig11Result(ber_with_otam=np.asarray(with_otam),
-                       ber_without_otam=np.asarray(without))
+    ber_w, ber_wo = [], []
+    for carrier in carriers:
+        breakdown = OtamLink(placement=placement, room=room,
+                             frequency_hz=float(carrier)).snr_breakdown()
+        ber_w.append(breakdown.ber_with_otam())
+        ber_wo.append(breakdown.ber_without_otam())
+    return {
+        "ber_with": max(float(np.mean(ber_w)), BER_FLOOR),
+        "ber_without": max(float(np.mean(ber_wo)), BER_FLOOR),
+    }
+
+
+def run(seed: int = 0, num_placements: int = 30,
+        blocker_position: tuple[float, float] = (2.0, 1.2),
+        num_carriers: int = 3,
+        executor: ShardExecutor | None = None,
+        num_shards: int | None = None,
+        store: ResultStore | str | None = None) -> Fig11Result:
+    """Sample placements, convert SNR to BER via the closed-form tables.
+
+    Runs as an engine campaign: serial by default, multi-core with
+    ``executor=ProcessPool(...)``, resumable with ``store=``.  Results
+    depend only on ``seed`` (and the sweep parameters), never on the
+    executor or shard count.
+    """
+    trial_fn = partial(placement_trial,
+                       blocker_position=(float(blocker_position[0]),
+                                         float(blocker_position[1])),
+                       num_carriers=num_carriers)
+    if num_shards is None:
+        num_shards = max(1, getattr(executor, "jobs", 1))
+    outcome = Campaign(trial_fn, num_placements, master_seed=seed,
+                       num_shards=num_shards, executor=executor,
+                       store=store).run()
+    return Fig11Result(
+        ber_with_otam=outcome.collect("ber_with"),
+        ber_without_otam=outcome.collect("ber_without"))
 
 
 def render(result: Fig11Result) -> str:

@@ -12,6 +12,12 @@ accepts a per-trial ``progress`` callback, and a
 :class:`~repro.telemetry.TelemetryRecorder` wraps every trial in a
 ``sim.trial`` span plus a ``sim.trial`` event — the per-trial profile
 the flamegraph export is built from.
+
+Long sweeps are also *parallel*: ``run(..., executor=ProcessPool(4))``
+routes the same trials through :mod:`repro.engine`'s sharded campaign
+machinery (identical seeds, identical results, multi-core wall-clock),
+and ``store=`` makes the sweep crash-safe and resumable.  See
+``docs/scaling.md``.
 """
 
 from __future__ import annotations
@@ -80,20 +86,46 @@ class MonteCarloRunner:
 
     def run(self, trial_fn: Callable[[np.random.Generator, int], dict],
             num_trials: int,
-            progress: Callable[[TrialResult], None] | None = None
-            ) -> list[TrialResult]:
+            progress: Callable[[TrialResult], None] | None = None,
+            executor=None, num_shards: int | None = None,
+            store=None) -> list[TrialResult]:
         """Execute ``num_trials`` independent trials.
 
         ``progress`` (optional) is invoked with each
         :class:`TrialResult` as it lands — the hook long sweeps use to
         report partial results without changing the return type.
+
+        ``executor`` (optional) routes the sweep through
+        :class:`repro.engine.Campaign`: trials are partitioned into
+        ``num_shards`` shards (default: the executor's worker count)
+        and run on the executor — e.g.
+        :class:`repro.engine.ProcessPool` for multi-core fan-out.
+        ``store`` (a :class:`repro.engine.ResultStore` or path) makes
+        the campaign resumable.  Seeds, results and telemetry exports
+        are identical to the serial path for the same master seed;
+        with an executor, ``progress`` fires per trial in index order
+        after the merge rather than streaming mid-sweep.
         """
-        results = []
-        for result in self.run_stream(trial_fn, num_trials):
-            if progress is not None:
+        if executor is None and store is None:
+            results = []
+            for result in self.run_stream(trial_fn, num_trials):
+                if progress is not None:
+                    progress(result)
+                results.append(result)
+            return results
+        from ..engine import Campaign
+
+        if num_shards is None:
+            num_shards = max(1, getattr(executor, "jobs", 1))
+        campaign = Campaign(trial_fn, num_trials,
+                            master_seed=self.master_seed,
+                            num_shards=num_shards, executor=executor,
+                            store=store, telemetry=self.telemetry)
+        merged = list(campaign.run().results)
+        if progress is not None:
+            for result in merged:
                 progress(result)
-            results.append(result)
-        return results
+        return merged
 
     @staticmethod
     def collect(results: list[TrialResult], key: str) -> np.ndarray:
@@ -105,7 +137,10 @@ class MonteCarloRunner:
         """Mean / median / percentiles of a metric across trials."""
         x = MonteCarloRunner.collect(results, key)
         if x.size == 0:
-            raise ValueError("no results to summarise")
+            raise ValueError(
+                f"no results to summarise for {key!r}: the result "
+                "list is empty (summary statistics are undefined on "
+                "zero trials)")
         return {
             "mean": float(np.mean(x)),
             "median": float(np.median(x)),

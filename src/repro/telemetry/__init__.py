@@ -14,6 +14,8 @@ Pieces
 ``tracer``    :class:`Tracer` — scoped and cross-step spans
 ``recorder``  the facade: :class:`Recorder` records,
               :class:`NullRecorder` (the default everywhere) costs ~0
+``snapshot``  :class:`TelemetrySnapshot` — serializable capture of one
+              recorder, merged across processes via ``Recorder.absorb``
 ``export``    deterministic JSONL / CSV / flamegraph exporters
 ``summary``   per-subsystem tables for ``repro telemetry summarize``
 
@@ -37,6 +39,7 @@ from .export import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import EventRecord, NullRecorder, Recorder, TelemetryRecorder
+from .snapshot import SNAPSHOT_SCHEMA_VERSION, TelemetrySnapshot
 from .summary import (
     SpanStats,
     SubsystemSummary,
@@ -58,11 +61,13 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "Recorder",
+    "SNAPSHOT_SCHEMA_VERSION",
     "SimClock",
     "SpanRecord",
     "SpanStats",
     "SubsystemSummary",
     "TelemetryRecorder",
+    "TelemetrySnapshot",
     "TelemetrySummary",
     "Tracer",
     "collapsed_stacks",

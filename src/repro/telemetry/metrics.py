@@ -135,6 +135,61 @@ class Histogram:
         return [(self.upper_bound(i), self._buckets[i])
                 for i in sorted(self._buckets)]
 
+    @classmethod
+    def from_state(cls, name: str, least: float, growth: float,
+                   count: int, total: float, min_value: float | None,
+                   max_value: float | None,
+                   bucket_counts: dict[int, int]) -> Histogram:
+        """Rebuild a histogram from captured state (the snapshot path).
+
+        ``min_value``/``max_value`` may be ``None`` for an empty
+        histogram (the JSON-safe encoding of the untouched ±inf
+        sentinels).
+        """
+        histogram = cls(name, least=least, growth=growth)
+        if count < 0 or total < 0.0:
+            raise ValueError("histogram state cannot be negative")
+        histogram.count = int(count)
+        histogram.total = float(total)
+        histogram.min = math.inf if min_value is None else float(min_value)
+        histogram.max = -math.inf if max_value is None else float(max_value)
+        for index, bucket_count in bucket_counts.items():
+            if index < 0 or bucket_count < 0:
+                raise ValueError("histogram buckets cannot be negative")
+            histogram._buckets[int(index)] = int(bucket_count)
+        return histogram
+
+    def bucket_counts(self) -> dict[int, int]:
+        """A copy of the sparse ``{bucket_index: count}`` map.
+
+        The raw indices (not the float upper bounds) are what a
+        cross-process merge needs: two histograms with the same
+        ``least``/``growth`` layout can be combined exactly by adding
+        counts index-by-index.
+        """
+        return dict(self._buckets)
+
+    def absorb(self, other: Histogram) -> None:
+        """Merge another histogram's distribution into this one.
+
+        Both histograms must share a bucket layout (``least`` and
+        ``growth``), which holds whenever the same instrument name was
+        observed on both sides — the cross-process telemetry merge case
+        (:meth:`repro.telemetry.Recorder.absorb`).
+        """
+        if (other.least, other.growth) != (self.least, self.growth):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot absorb a different "
+                f"bucket layout (least={other.least}, "
+                f"growth={other.growth})")
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for index, bucket_count in other.bucket_counts().items():
+            self._buckets[index] = self._buckets.get(index, 0) \
+                + bucket_count
+
     def quantile(self, q: float) -> float:
         """Approximate quantile from bucket upper bounds (0.0 if empty)."""
         if not 0.0 <= q <= 1.0:

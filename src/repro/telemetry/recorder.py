@@ -24,10 +24,14 @@ from __future__ import annotations
 
 from contextlib import AbstractContextManager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .clock import SimClock
-from .metrics import MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 from .tracer import ActiveSpan, Primitive, Tracer
+
+if TYPE_CHECKING:  # imported lazily to avoid a snapshot<->recorder cycle
+    from .snapshot import TelemetrySnapshot
 
 __all__ = ["EventRecord", "NullRecorder", "Recorder", "TelemetryRecorder"]
 
@@ -102,6 +106,10 @@ class TelemetryRecorder:
         """Context manager tracing one scoped block (no-op here)."""
         return _NULL_SPAN
 
+    def absorb(self, snapshot: TelemetrySnapshot) -> None:
+        """Merge a cross-process telemetry snapshot (no-op here)."""
+        return None
+
 
 class NullRecorder(TelemetryRecorder):
     """The explicit zero-overhead recorder — the default everywhere.
@@ -158,3 +166,34 @@ class Recorder(TelemetryRecorder):
              ) -> AbstractContextManager[ActiveSpan | _NullSpan]:
         """Context manager tracing one scoped block in sim time."""
         return self.tracer.span(name, **attrs)
+
+    def absorb(self, snapshot: TelemetrySnapshot) -> None:
+        """Merge a :class:`~repro.telemetry.snapshot.TelemetrySnapshot`
+        captured from another recorder (typically in a worker process).
+
+        Counters add, gauges take the snapshot's last value, histograms
+        merge bucket-by-bucket, spans are renumbered onto this tracer's
+        id sequence (:meth:`~repro.telemetry.tracer.Tracer.absorb`),
+        events append in recorded order, and the clock advances to the
+        snapshot's final instant.  Absorbing shard snapshots in shard
+        order therefore reproduces exactly the state one shared
+        recorder would have reached serially.
+        """
+        for name, value in snapshot.counters:
+            self.metrics.counter(name).inc(value)
+        for name, gauge_value in snapshot.gauges:
+            if gauge_value is not None:
+                self.metrics.gauge(name).set(gauge_value)
+        for spec in snapshot.histograms:
+            source = Histogram.from_state(
+                str(spec["name"]), least=float(spec["least"]),
+                growth=float(spec["growth"]), count=int(spec["count"]),
+                total=float(spec["total"]),
+                min_value=spec["min"], max_value=spec["max"],
+                bucket_counts={int(i): int(n)
+                               for i, n in spec["buckets"].items()})
+            self.metrics.histogram(source.name, least=source.least,
+                                   growth=source.growth).absorb(source)
+        self.tracer.absorb(snapshot.span_records())
+        self.events.extend(snapshot.event_records())
+        self.clock.advance_to(snapshot.clock_s)

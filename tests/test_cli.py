@@ -42,6 +42,37 @@ class TestParser:
         args = build_parser().parse_args(["chaos", "--json"])
         assert args.as_json
 
+    def test_chaos_jobs_flag(self):
+        args = build_parser().parse_args(["chaos", "--scenario", "all",
+                                          "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["chaos"]).jobs == 1
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "fig11", "--trials", "12", "--seed", "5",
+             "--jobs", "2", "--shards", "4", "--out", "c.jsonl",
+             "--resume"])
+        assert args.experiment == "fig11"
+        assert args.trials == 12
+        assert args.seed == 5
+        assert args.jobs == 2
+        assert args.shards == 4
+        assert args.out == "c.jsonl"
+        assert args.resume
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign", "fig13"])
+        assert args.trials is None
+        assert args.jobs == 1
+        assert args.shards is None
+        assert args.out is None
+        assert not args.resume
+
+    def test_campaign_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "fig99"])
+
     def test_telemetry_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["telemetry"])
@@ -98,6 +129,57 @@ class TestCommands:
     def test_chaos_unknown_scenario_fails(self, capsys):
         assert main(["chaos", "--scenario", "nope"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_chaos_bad_jobs_fails(self, capsys):
+        assert main(["chaos", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_campaign_fig11(self, capsys):
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 11" in out
+
+    def test_campaign_store_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "fig11.jsonl")
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", store]) == 0
+        first = capsys.readouterr().out
+        # Same store without --resume is refused...
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", store]) == 2
+        assert "--resume" in capsys.readouterr().err
+        # ...and with --resume replays the journaled shards.
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", store, "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_campaign_resume_against_other_campaign_fails(
+            self, tmp_path, capsys):
+        store = str(tmp_path / "fig11.jsonl")
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "fig11", "--trials", "7",
+                     "--out", store, "--resume"]) == 2
+        assert "different campaign" in capsys.readouterr().err
+
+    def test_campaign_resume_needs_out(self, capsys):
+        assert main(["campaign", "fig11", "--resume"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_campaign_fig10_rejects_trials(self, capsys):
+        assert main(["campaign", "fig10", "--trials", "9"]) == 2
+        assert "grid" in capsys.readouterr().err
+
+    def test_campaign_chaos_rejects_out(self, tmp_path, capsys):
+        out = str(tmp_path / "chaos.jsonl")
+        assert main(["campaign", "chaos", "--out", out]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_campaign_bad_jobs_and_shards_fail(self, capsys):
+        assert main(["campaign", "fig11", "--jobs", "0"]) == 2
+        assert main(["campaign", "fig11", "--shards", "0"]) == 2
 
     def test_chaos_ap_crash(self, capsys):
         assert main(["chaos", "--ap-crash", "--seed", "7"]) == 0

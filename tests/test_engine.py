@@ -1,0 +1,396 @@
+"""repro.engine: plans, shards, executors, the store, and campaigns.
+
+The load-bearing guarantees under test:
+
+* the engine's seed derivation is the runner's, so campaign trials see
+  the exact RNG streams a serial sweep would;
+* results and merged telemetry exports are byte-identical across shard
+  counts and executors;
+* a killed campaign resumes from its journal executing only the
+  unfinished shards, and a journal that does not match the campaign
+  (different plan, interior corruption) is rejected instead of mixed in.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Campaign,
+    CampaignPlan,
+    EngineError,
+    ProcessPool,
+    ResultStore,
+    SerialExecutor,
+    StoreError,
+    default_job_count,
+    run_campaign,
+    run_shard,
+)
+from repro.sim.runner import MonteCarloRunner
+from repro.telemetry import Recorder
+from repro.telemetry.export import to_jsonl
+
+
+def uniform_trial(rng, index):
+    """Module-level so ProcessPool workers can unpickle it."""
+    return {"x": float(rng.uniform()), "index": index}
+
+
+def failing_trial(rng, index):
+    if index == 3:
+        raise RuntimeError("trial 3 exploded")
+    return {"x": float(rng.uniform())}
+
+
+def non_dict_trial(rng, index):
+    return 42
+
+
+class TestCampaignPlan:
+    def test_seeds_match_runner_derivation(self):
+        plan = CampaignPlan.build(master_seed=7, num_trials=10,
+                                  num_shards=3)
+        runner_seeds = MonteCarloRunner(7).child_seeds(10)
+        plan_seeds = [t.seed for shard in plan.shards
+                      for t in shard.trials]
+        assert plan_seeds == runner_seeds
+
+    def test_partition_is_contiguous_and_balanced(self):
+        plan = CampaignPlan.build(num_trials=10, num_shards=3)
+        sizes = [len(s.trials) for s in plan.shards]
+        assert sizes == [4, 3, 3]
+        indices = [i for s in plan.shards for i in s.indices]
+        assert indices == list(range(10))
+
+    def test_shards_clamped_to_trial_count(self):
+        plan = CampaignPlan.build(num_trials=2, num_shards=8)
+        assert plan.num_shards == 2
+        assert all(len(s.trials) == 1 for s in plan.shards)
+
+    def test_zero_trials_means_zero_shards(self):
+        plan = CampaignPlan.build(num_trials=0, num_shards=4)
+        assert plan.shards == ()
+
+    def test_shard_count_never_changes_seeds(self):
+        seeds_1 = [t.seed for s in CampaignPlan.build(5, 20, 1).shards
+                   for t in s.trials]
+        seeds_7 = [t.seed for s in CampaignPlan.build(5, 20, 7).shards
+                   for t in s.trials]
+        assert seeds_1 == seeds_7
+
+    def test_fingerprint_binds_the_whole_plan(self):
+        base = CampaignPlan.build(0, 10, 2).fingerprint()
+        assert CampaignPlan.build(0, 10, 2).fingerprint() == base
+        assert CampaignPlan.build(1, 10, 2).fingerprint() != base
+        assert CampaignPlan.build(0, 11, 2).fingerprint() != base
+        assert CampaignPlan.build(0, 10, 3).fingerprint() != base
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignPlan.build(num_trials=-1)
+        with pytest.raises(ValueError):
+            CampaignPlan.build(num_shards=0)
+
+
+class TestRunShard:
+    def test_values_and_specs_round_trip(self):
+        plan = CampaignPlan.build(master_seed=3, num_trials=4,
+                                  num_shards=2)
+        result = run_shard(uniform_trial, plan.shards[1], 4)
+        assert result.shard_id == 1
+        assert [index for index, _, _ in result.trials] == [2, 3]
+        assert result.telemetry is None
+
+    def test_non_dict_values_rejected(self):
+        plan = CampaignPlan.build(num_trials=1, num_shards=1)
+        with pytest.raises(TypeError):
+            run_shard(non_dict_trial, plan.shards[0], 1)
+
+    def test_telemetry_snapshot_captured_on_request(self):
+        plan = CampaignPlan.build(num_trials=3, num_shards=1)
+        result = run_shard(uniform_trial, plan.shards[0], 3,
+                           record_telemetry=True)
+        assert result.telemetry is not None
+        names = [s["name"] for s in result.telemetry.spans]
+        assert names == ["sim.trial"] * 3
+
+
+class TestCampaignDeterminism:
+    def test_matches_plain_runner_exactly(self):
+        serial = MonteCarloRunner(11).run(uniform_trial, 12)
+        for shards in (1, 4, 12):
+            outcome = run_campaign(uniform_trial, 12, master_seed=11,
+                                   num_shards=shards)
+            assert [r.values for r in outcome.results] \
+                == [r.values for r in serial]
+            assert [r.seed for r in outcome.results] \
+                == [r.seed for r in serial]
+
+    def test_process_pool_matches_serial(self):
+        reference = run_campaign(uniform_trial, 10, master_seed=2,
+                                 num_shards=4)
+        pooled = run_campaign(uniform_trial, 10, master_seed=2,
+                              num_shards=4, executor=ProcessPool(jobs=2))
+        assert [r.values for r in pooled.results] \
+            == [r.values for r in reference.results]
+
+    def test_merged_telemetry_export_is_byte_identical(self):
+        tel_serial = Recorder()
+        MonteCarloRunner(5, telemetry=tel_serial).run(uniform_trial, 8)
+        tel_campaign = Recorder()
+        run_campaign(uniform_trial, 8, master_seed=5, num_shards=4,
+                     telemetry=tel_campaign)
+        assert to_jsonl(tel_campaign) == to_jsonl(tel_serial)
+
+    def test_collect_and_summary(self):
+        outcome = run_campaign(uniform_trial, 6, master_seed=1,
+                               num_shards=2)
+        xs = outcome.collect("x")
+        assert xs.shape == (6,)
+        assert outcome.summary("x")["mean"] == pytest.approx(xs.mean())
+        assert outcome.num_trials == 6
+
+    def test_progress_fires_after_each_shard(self):
+        seen = []
+        Campaign(uniform_trial, 6, num_shards=3).run(
+            progress=lambda shard: seen.append(shard.shard_id))
+        assert seen == [0, 1, 2]
+
+    def test_trial_failure_propagates(self):
+        with pytest.raises(RuntimeError, match="trial 3"):
+            run_campaign(failing_trial, 6, num_shards=2)
+
+
+class _DyingExecutor:
+    """Runs shards serially but dies after ``survive`` of them."""
+
+    def __init__(self, survive: int) -> None:
+        self.survive = survive
+
+    def run_shards(self, trial_fn, shards, of_total,
+                   record_telemetry=False):
+        inner = SerialExecutor().run_shards(
+            trial_fn, shards, of_total,
+            record_telemetry=record_telemetry)
+        for count, result in enumerate(inner):
+            if count == self.survive:
+                raise KeyboardInterrupt("killed mid-campaign")
+            yield result
+
+
+class TestResultStore:
+    def test_resume_runs_only_unfinished_shards(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(uniform_trial, 8, master_seed=9, num_shards=4,
+                         executor=_DyingExecutor(survive=2),
+                         store=store_path)
+        journal = store_path.read_text().splitlines()
+        assert len(journal) == 3  # header + the two surviving shards
+
+        executed = []
+        resumed = Campaign(uniform_trial, 8, master_seed=9,
+                           num_shards=4, store=store_path).run(
+            progress=lambda shard: executed.append(shard.shard_id))
+        assert executed == [2, 3]
+        assert resumed.resumed_shards == (0, 1)
+        assert resumed.executed_shards == (2, 3)
+
+        clean = run_campaign(uniform_trial, 8, master_seed=9,
+                             num_shards=4)
+        assert [r.values for r in resumed.results] \
+            == [r.values for r in clean.results]
+
+    def test_finished_store_reruns_nothing(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        run_campaign(uniform_trial, 6, num_shards=3, store=store_path)
+        again = run_campaign(uniform_trial, 6, num_shards=3,
+                             store=store_path)
+        assert again.executed_shards == ()
+        assert again.resumed_shards == (0, 1, 2)
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        run_campaign(uniform_trial, 6, num_shards=3, store=store_path)
+        torn = store_path.read_text()[:-20]
+        store_path.write_text(torn)
+        outcome = run_campaign(uniform_trial, 6, num_shards=3,
+                               store=store_path)
+        assert outcome.resumed_shards == (0, 1)
+        assert outcome.executed_shards == (2,)
+
+    def test_interior_corruption_rejected(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        run_campaign(uniform_trial, 6, num_shards=3, store=store_path)
+        lines = store_path.read_text().splitlines()
+        lines[1] = lines[1].replace('"record":"shard"',
+                                    '"record":"sharf"')
+        store_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreError, match="corrupt shard record"):
+            run_campaign(uniform_trial, 6, num_shards=3,
+                         store=store_path)
+
+    def test_different_campaign_rejected(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        run_campaign(uniform_trial, 6, master_seed=0, num_shards=3,
+                     store=store_path)
+        with pytest.raises(StoreError, match="different campaign"):
+            run_campaign(uniform_trial, 6, master_seed=1, num_shards=3,
+                         store=store_path)
+        with pytest.raises(StoreError, match="different campaign"):
+            run_campaign(uniform_trial, 7, master_seed=0, num_shards=3,
+                         store=store_path)
+
+    def test_non_json_values_rejected_at_journal_time(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+
+        with pytest.raises(StoreError, match="JSON-serialisable"):
+            run_campaign(lambda rng, i: {"x": object()}, 2,
+                         num_shards=1, store=store_path)
+
+    def test_header_is_canonical_json_with_fingerprint(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        plan = CampaignPlan.build(master_seed=4, num_trials=6,
+                                  num_shards=2)
+        ResultStore(store_path).create(plan)
+        header = json.loads(store_path.read_text().splitlines()[0])
+        assert header["record"] == "campaign"
+        assert header["fingerprint"] == plan.fingerprint()
+        assert header["master_seed"] == 4
+
+    def test_telemetry_round_trips_through_the_journal(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        tel_direct = Recorder()
+        run_campaign(uniform_trial, 6, master_seed=3, num_shards=3,
+                     telemetry=tel_direct)
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(uniform_trial, 6, master_seed=3, num_shards=3,
+                         executor=_DyingExecutor(survive=2),
+                         store=store_path, telemetry=Recorder())
+        tel_resumed = Recorder()
+        run_campaign(uniform_trial, 6, master_seed=3, num_shards=3,
+                     store=store_path, telemetry=tel_resumed)
+        assert to_jsonl(tel_resumed) == to_jsonl(tel_direct)
+
+    def test_traced_resume_refuses_untraced_journal(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(uniform_trial, 6, num_shards=3,
+                         executor=_DyingExecutor(survive=1),
+                         store=store_path)
+        with pytest.raises(EngineError, match="without telemetry"):
+            run_campaign(uniform_trial, 6, num_shards=3,
+                         store=store_path, telemetry=Recorder())
+
+
+class _SkippingExecutor:
+    """Silently drops every shard — a broken executor."""
+
+    def run_shards(self, trial_fn, shards, of_total,
+                   record_telemetry=False):
+        return iter(())
+
+
+class TestEngineErrors:
+    def test_incomplete_campaign_detected(self):
+        with pytest.raises(EngineError, match="never finished"):
+            Campaign(uniform_trial, 4, num_shards=2,
+                     executor=_SkippingExecutor()).run()
+
+    def test_process_pool_validates_jobs(self):
+        with pytest.raises(ValueError):
+            ProcessPool(jobs=0)
+        assert ProcessPool(jobs=3).jobs == 3
+        assert default_job_count() >= 1
+
+
+class TestRunnerIntegration:
+    def test_runner_executor_path_matches_serial(self):
+        runner = MonteCarloRunner(13)
+        serial = runner.run(uniform_trial, 9)
+        engine = runner.run(uniform_trial, 9,
+                            executor=SerialExecutor(), num_shards=3)
+        assert [r.values for r in engine] == [r.values for r in serial]
+
+    def test_runner_progress_in_index_order_under_executor(self):
+        seen = []
+        MonteCarloRunner(0).run(uniform_trial, 6,
+                                progress=lambda r: seen.append(r.index),
+                                executor=SerialExecutor(),
+                                num_shards=3)
+        assert seen == list(range(6))
+
+    def test_runner_store_only_path_uses_engine(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        runner = MonteCarloRunner(1)
+        stored = runner.run(uniform_trial, 4, store=store_path)
+        assert store_path.exists()
+        assert [r.values for r in stored] \
+            == [r.values for r in runner.run(uniform_trial, 4)]
+
+    def test_empty_summary_message_names_the_key(self):
+        with pytest.raises(ValueError,
+                           match=r"no results to summarise for 'snr'"):
+            MonteCarloRunner.summary([], "snr")
+
+
+class TestStreamAbandonment:
+    def test_abandoned_stream_leaves_no_open_spans(self):
+        tel = Recorder()
+        runner = MonteCarloRunner(0, telemetry=tel)
+        stream = runner.run_stream(uniform_trial, 10)
+        for _ in range(3):
+            next(stream)
+        del stream
+        gc.collect()
+        assert tel.tracer.open_count == 0
+        trial_spans = [s for s in tel.tracer.finished
+                       if s.name == "sim.trial"]
+        assert len(trial_spans) == 3
+        assert [s.attrs["index"] for s in trial_spans] == [0, 1, 2]
+
+
+class TestExperimentCampaigns:
+    """The figure sweeps honour the executor/shard contract."""
+
+    def test_fig11_values_independent_of_shards(self):
+        from repro.experiments import fig11_ber_cdf
+
+        serial = fig11_ber_cdf.run(seed=0, num_placements=6)
+        sharded = fig11_ber_cdf.run(seed=0, num_placements=6,
+                                    num_shards=3,
+                                    executor=SerialExecutor())
+        assert np.array_equal(serial.ber_with_otam,
+                              sharded.ber_with_otam)
+        assert np.array_equal(serial.ber_without_otam,
+                              sharded.ber_without_otam)
+
+    def test_fig13_values_independent_of_shards(self):
+        from repro.experiments import fig13_multinode
+
+        serial = fig13_multinode.run(seed=0, trials_per_count=2,
+                                     node_counts=(1, 2))
+        sharded = fig13_multinode.run(seed=0, trials_per_count=2,
+                                      node_counts=(1, 2), num_shards=2,
+                                      executor=SerialExecutor())
+        assert np.array_equal(serial.mean_sinr_db, sharded.mean_sinr_db)
+        assert np.array_equal(serial.std_sinr_db, sharded.std_sinr_db)
+
+    def test_chaos_sweep_independent_of_executor(self):
+        from repro.experiments import chaos
+
+        serial = chaos.run_all(seed=1, duration_s=4.0,
+                               quiet_tail_s=1.0)
+        sharded = chaos.run_all(seed=1, duration_s=4.0,
+                                quiet_tail_s=1.0,
+                                executor=SerialExecutor(), num_shards=2)
+        assert [r.scenario for r in sharded] \
+            == [r.scenario for r in serial]
+        assert [r.result.adaptive_delivery_ratio for r in sharded] \
+            == [r.result.adaptive_delivery_ratio for r in serial]

@@ -43,6 +43,7 @@ class TestRulePack:
         ("RNG001", "rng001_bad.py", "rng001_ok.py"),
         ("DET001", "det001_bad.py", "det001_ok.py"),
         ("DET001", "det001_telemetry_bad.py", "det001_telemetry_ok.py"),
+        ("DET001", "det001_worker_bad.py", "det001_worker_ok.py"),
         ("API001", "api001_bad/__init__.py", "api001_ok/__init__.py"),
         ("EXC001", "exc001_bad.py", "exc001_ok.py"),
     ])

@@ -1,0 +1,23 @@
+"""Fixture: DET001 positives — a campaign worker that invents entropy.
+
+The anti-pattern the engine's plan-fixed seeding exists to prevent: a
+worker process that consults the wall clock or the stdlib RNG computes
+a different shard result on every run (and on every host), so a resumed
+campaign silently disagrees with the run it resumes.
+"""
+
+import random
+import time
+
+
+def run_shard(trial_fn, indices):
+    """Worker entry point seeded from wherever it happens to run."""
+    rng_seed = time.time_ns()  # DET001: per-run entropy
+    results = []
+    for index in indices:
+        jitter = random.random()  # DET001: process-local stdlib RNG
+        started = time.perf_counter()  # DET001: host timing in results
+        values = trial_fn(rng_seed + index, index)
+        results.append((index, jitter, time.perf_counter() - started,
+                        values))
+    return results

@@ -1,0 +1,35 @@
+"""Fixture: DET001 negatives — a campaign worker driven by its plan.
+
+The pattern ``repro.engine`` uses: every trial's seed is fixed in the
+campaign plan before any worker starts, and anything timed is timed in
+simulated seconds, so a shard computes the same result on any worker,
+any host, any run — which is what makes resume and parallel-vs-serial
+parity possible at all.
+"""
+
+import numpy as np
+
+
+class SimClock:
+    """Simulated seconds; advanced explicitly, never read from the host."""
+
+    def __init__(self, start_s=0.0):
+        self.now_s = start_s
+
+    def advance(self, dt_s):
+        """The only way time moves."""
+        self.now_s += dt_s
+        return self.now_s
+
+
+def run_shard(trial_fn, trials, time_step_s=0.1):
+    """Worker entry point: every input arrives via the shard spec."""
+    clock = SimClock()
+    results = []
+    for index, seed in trials:
+        rng = np.random.default_rng(seed)  # seed fixed by the plan
+        started_s = clock.now_s
+        values = trial_fn(rng, index)
+        clock.advance(time_step_s)
+        results.append((index, seed, clock.now_s - started_s, values))
+    return results
