@@ -12,7 +12,9 @@ Commands
 ``chaos all --jobs N``     the scenario sweep across N worker processes
 ``campaign EXPERIMENT``    run a sweep as a sharded, resumable campaign
                            (``--jobs``, ``--shards``, ``--out``,
-                           ``--resume``)
+                           ``--resume``; supervision via
+                           ``--max-retries``, ``--shard-timeout``,
+                           ``--on-failure fail|quarantine|degrade``)
 ``telemetry summarize F``  per-subsystem tables from a JSONL export
 ``telemetry flame F``      collapsed flamegraph stacks from a JSONL export
 ``lint [paths...]``        run the reprolint static analyser (repo checkouts)
@@ -102,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--duration", type=float, default=30.0,
                       help="simulated seconds per scenario "
                            "(chaos campaigns only)")
+    camp.add_argument("--max-retries", type=int, default=None,
+                      help="supervise the campaign: retry each failed "
+                           "shard up to N times (deterministic "
+                           "exponential backoff) before quarantining")
+    camp.add_argument("--shard-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="supervise the campaign: absolute per-shard "
+                           "attempt deadline; hung workers are timed "
+                           "out and retried")
+    camp.add_argument("--on-failure", default=None,
+                      choices=["fail", "quarantine", "degrade"],
+                      help="supervised shard that exhausts its retries: "
+                           "kill the campaign (fail), complete without "
+                           "it (quarantine), or re-run it in-process "
+                           "as a last resort (degrade)")
 
     tele = sub.add_parser(
         "telemetry", help="inspect sim-time telemetry JSONL exports")
@@ -287,8 +304,12 @@ def _cmd_chaos(scenario: str, seed: int, duration: float,
 
 def _cmd_campaign(experiment: str, trials: int | None, seed: int,
                   jobs: int, shards: int | None, out: str | None,
-                  resume: bool, duration: float) -> int:
-    from .engine import ProcessPool, SerialExecutor, StoreError
+                  resume: bool, duration: float,
+                  max_retries: int | None = None,
+                  shard_timeout: float | None = None,
+                  on_failure: str | None = None) -> int:
+    from .engine import (EngineError, ProcessPool, SerialExecutor,
+                         StoreError, SupervisedPool, SupervisionPolicy)
 
     if jobs < 1:
         print("repro campaign: --jobs must be at least 1",
@@ -296,6 +317,14 @@ def _cmd_campaign(experiment: str, trials: int | None, seed: int,
         return 2
     if shards is not None and shards < 1:
         print("repro campaign: --shards must be at least 1",
+              file=sys.stderr)
+        return 2
+    if max_retries is not None and max_retries < 0:
+        print("repro campaign: --max-retries cannot be negative",
+              file=sys.stderr)
+        return 2
+    if shard_timeout is not None and shard_timeout <= 0:
+        print("repro campaign: --shard-timeout must be positive",
               file=sys.stderr)
         return 2
     if resume and out is None:
@@ -318,7 +347,27 @@ def _cmd_campaign(experiment: str, trials: int | None, seed: int,
               "grid; --trials does not apply", file=sys.stderr)
         return 2
 
-    executor = ProcessPool(jobs=jobs) if jobs > 1 else SerialExecutor()
+    supervised = (max_retries is not None or shard_timeout is not None
+                  or on_failure is not None)
+    executor: SerialExecutor | ProcessPool | SupervisedPool
+    if supervised:
+        from .engine import ON_FAILURE_MODES
+        from .engine.policy import OnFailure
+
+        mode: OnFailure = "quarantine"
+        for known in ON_FAILURE_MODES:
+            if on_failure == known:
+                mode = known
+        policy = SupervisionPolicy(
+            max_attempts=(max_retries + 1 if max_retries is not None
+                          else 3),
+            shard_timeout_s=shard_timeout,
+            on_failure=mode)
+        executor = SupervisedPool(jobs=jobs, policy=policy)
+    elif jobs > 1:
+        executor = ProcessPool(jobs=jobs)
+    else:
+        executor = SerialExecutor()
     num_shards = shards if shards is not None else jobs
 
     try:
@@ -350,12 +399,47 @@ def _cmd_campaign(experiment: str, trials: int | None, seed: int,
                 executor=executor, num_shards=num_shards, store=out)))
         else:
             raise AssertionError("unreachable")
-    except StoreError as exc:
-        print(f"repro campaign: {exc}", file=sys.stderr)
+    except (EngineError, StoreError) as exc:
+        # One line, diagnosable: what died, which shards, where the
+        # journal lives — never a raw traceback.
+        print(_campaign_diagnostic(exc, executor, out), file=sys.stderr)
         return 2
     if out is not None:
         print(f"\ncampaign store: {out}", file=sys.stderr)
+    report = getattr(executor, "last_report", None)
+    if report is not None and (report.retries or report.quarantined):
+        survived = (f"{report.retries} retr"
+                    f"{'y' if report.retries == 1 else 'ies'}")
+        if report.degraded:
+            survived += (", degraded shards "
+                         f"{sorted(report.degraded)} recovered "
+                         "in-process")
+        print(f"repro campaign: supervised run survived {survived}",
+              file=sys.stderr)
+        abandoned = report.abandoned
+        if abandoned:
+            where = f"; journal: {out}" if out is not None else ""
+            print("repro campaign: partial result — quarantined "
+                  f"shards {sorted(abandoned)} never completed"
+                  f"{where}", file=sys.stderr)
+            return 1
     return 0
+
+
+def _campaign_diagnostic(exc: Exception, executor: object,
+                         out: str | None) -> str:
+    """The one-line failure summary ``repro campaign`` prints."""
+    parts = [f"repro campaign: {type(exc).__name__}: {exc}"]
+    report = getattr(executor, "last_report", None)
+    if report is not None and report.failures:
+        failed = sorted({f.shard_id for f in report.failures})
+        parts.append(f"failed shards: {failed}")
+        if report.quarantined:
+            parts.append(
+                f"quarantined: {sorted(report.quarantined)}")
+    if out is not None:
+        parts.append(f"journal: {out}")
+    return " | ".join(parts)
 
 
 def _cmd_telemetry(command: str, path: str) -> int:
@@ -421,7 +505,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "campaign":
         return _cmd_campaign(args.experiment, args.trials, args.seed,
                              args.jobs, args.shards, args.out,
-                             args.resume, args.duration)
+                             args.resume, args.duration,
+                             args.max_retries, args.shard_timeout,
+                             args.on_failure)
     if args.command == "telemetry":
         return _cmd_telemetry(args.telemetry_command, args.path)
     if args.command == "lint":

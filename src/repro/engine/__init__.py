@@ -17,7 +17,14 @@ This package is the scale-out layer: it turns any
 * **deterministic** — the merge restores serial trial order and absorbs
   per-shard telemetry snapshots in shard order, making aggregate
   results and telemetry exports byte-identical to a serial run for the
-  same master seed and plan.
+  same master seed and plan;
+* **supervised** — a :class:`SupervisedPool` survives worker crashes,
+  hangs and corrupt payloads: per-attempt deadlines (absolute and
+  adaptive), deterministic exponential backoff, validation of every
+  payload against the plan, quarantine of poison shards (the campaign
+  completes as an explicit :class:`PartialCampaignResult`), and an
+  optional in-process degrade fallback — chaos-tested by the seeded
+  worker-fault harness in :mod:`repro.engine.faults`.
 
 Usage
 -----
@@ -33,8 +40,28 @@ See ``docs/scaling.md`` for the campaign model, determinism guarantees
 and resume semantics.
 """
 
-from .campaign import Campaign, CampaignResult, EngineError, run_campaign
+from .campaign import (
+    Campaign,
+    CampaignResult,
+    EngineError,
+    PartialCampaignResult,
+    run_campaign,
+)
+from .faults import (
+    WORKER_FAULT_KINDS,
+    InjectedWorkerCrash,
+    WorkerFault,
+    WorkerFaultSchedule,
+    corrupt_shard_result,
+)
 from .plan import CampaignPlan, ShardSpec, TrialSpec
+from .policy import (
+    FAILURE_KINDS,
+    ON_FAILURE_MODES,
+    ShardFailure,
+    SupervisionPolicy,
+    SupervisionReport,
+)
 from .pool import (
     ProcessPool,
     SerialExecutor,
@@ -43,23 +70,48 @@ from .pool import (
 )
 from .shard import ShardResult, TrialFn, run_shard
 from .store import STORE_SCHEMA_VERSION, ResultStore, StoreError
+from .supervisor import (
+    ShardSupervisor,
+    ShardValidationError,
+    SupervisedPool,
+    WorkBackend,
+    seed_fingerprint,
+    validate_shard_result,
+)
 
 __all__ = [
     "Campaign",
     "CampaignPlan",
     "CampaignResult",
     "EngineError",
+    "FAILURE_KINDS",
+    "InjectedWorkerCrash",
+    "ON_FAILURE_MODES",
+    "PartialCampaignResult",
     "ProcessPool",
     "ResultStore",
     "STORE_SCHEMA_VERSION",
     "SerialExecutor",
     "ShardExecutor",
+    "ShardFailure",
     "ShardResult",
     "ShardSpec",
+    "ShardSupervisor",
+    "ShardValidationError",
     "StoreError",
+    "SupervisedPool",
+    "SupervisionPolicy",
+    "SupervisionReport",
     "TrialFn",
     "TrialSpec",
+    "WORKER_FAULT_KINDS",
+    "WorkBackend",
+    "WorkerFault",
+    "WorkerFaultSchedule",
+    "corrupt_shard_result",
     "default_job_count",
     "run_campaign",
     "run_shard",
+    "seed_fingerprint",
+    "validate_shard_result",
 ]

@@ -34,11 +34,13 @@ import numpy as np
 from ..sim.runner import MonteCarloRunner, TrialResult
 from ..telemetry import NullRecorder, TelemetryRecorder
 from .plan import CampaignPlan
+from .policy import SupervisionReport
 from .pool import SerialExecutor, ShardExecutor
 from .shard import ShardResult, TrialFn
 from .store import ResultStore
 
-__all__ = ["Campaign", "CampaignResult", "EngineError", "run_campaign"]
+__all__ = ["Campaign", "CampaignResult", "EngineError",
+           "PartialCampaignResult", "run_campaign"]
 
 
 class EngineError(Exception):
@@ -69,6 +71,37 @@ class CampaignResult:
     def num_trials(self) -> int:
         """Total trials in the campaign."""
         return len(self.results)
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether any planned shard is missing from the merge."""
+        return False
+
+
+@dataclass(frozen=True)
+class PartialCampaignResult(CampaignResult):
+    """A campaign that completed *minus* its quarantined shards.
+
+    Produced instead of dying when a supervised executor (policy
+    ``on_failure="quarantine"`` or an unrecovered ``"degrade"``) gave
+    up on some shards: every surviving trial is merged in index order
+    exactly as in a full :class:`CampaignResult`, and the holes are
+    explicit — :attr:`quarantined_shards` names the shards that never
+    succeeded, :attr:`missing_trials` the trial indices they cover.
+
+    Because the plan (and every seed in it) is unchanged, re-running
+    the campaign against the same result store retries *only* the
+    quarantined shards, and a later full result is byte-identical to
+    one that never saw a fault.
+    """
+
+    quarantined_shards: tuple[int, ...] = ()
+    missing_trials: tuple[int, ...] = ()
+
+    @property
+    def is_partial(self) -> bool:
+        """Always true: some planned shards are missing."""
+        return True
 
 
 class Campaign:
@@ -101,11 +134,22 @@ class Campaign:
         Raises :class:`EngineError` when a telemetry-enabled campaign
         resumes from a journal written without telemetry (the merged
         export would silently miss the resumed trials).
+
+        Under a supervised executor (one exposing a
+        :class:`~repro.engine.policy.SupervisionReport` as
+        ``last_report``, e.g.
+        :class:`~repro.engine.supervisor.SupervisedPool`), failed
+        attempts are journaled to the store as they happen, and a run
+        whose shards were quarantined returns an explicit
+        :class:`PartialCampaignResult` instead of raising.
         """
         record_telemetry = self.telemetry.enabled
         completed: dict[int, ShardResult] = {}
         if self.store is not None:
             completed = self.store.load_or_create(self.plan)
+            attach = getattr(self.executor, "attach_failure_sink", None)
+            if callable(attach):
+                attach(self.store.record_attempt)
         resumed = tuple(sorted(completed))
         if record_telemetry:
             for shard_id in resumed:
@@ -126,20 +170,43 @@ class Campaign:
             executed.append(result.shard_id)
             if progress is not None:
                 progress(result)
-        return self._merge(completed, tuple(executed), resumed)
+        quarantined = self._quarantined_shards()
+        if quarantined and self.store is not None:
+            self.store.record_quarantine(quarantined)
+        return self._merge(completed, tuple(executed), resumed,
+                           quarantined)
+
+    def _quarantined_shards(self) -> tuple[int, ...]:
+        """Shards a supervised executor gave up on, per its report."""
+        report = getattr(self.executor, "last_report", None)
+        if not isinstance(report, SupervisionReport):
+            return ()
+        return report.abandoned
 
     def _merge(self, completed: dict[int, ShardResult],
-               executed: tuple[int, ...], resumed: tuple[int, ...]
+               executed: tuple[int, ...], resumed: tuple[int, ...],
+               quarantined: tuple[int, ...] = ()
                ) -> CampaignResult:
-        """Deterministic merge: shard order restores serial order."""
+        """Deterministic merge: shard order restores serial order.
+
+        Shards missing *without* being quarantined mean a broken
+        executor or a mismatched store and still raise; quarantined
+        shards produce an explicit :class:`PartialCampaignResult`.
+        """
         missing = [shard.shard_id for shard in self.plan.shards
                    if shard.shard_id not in completed]
-        if missing:
+        unexplained = [shard_id for shard_id in missing
+                       if shard_id not in quarantined]
+        if unexplained:
             raise EngineError(
-                f"campaign incomplete: shards {missing} never "
+                f"campaign incomplete: shards {unexplained} never "
                 "finished")
         results: list[TrialResult] = []
+        expected_indices: list[int] = []
         for shard in self.plan.shards:
+            if shard.shard_id not in completed:
+                continue
+            expected_indices.extend(shard.indices)
             shard_result = completed[shard.shard_id]
             for index, seed, values in shard_result.trials:
                 results.append(TrialResult(index=index, seed=seed,
@@ -148,15 +215,25 @@ class Campaign:
             if self.telemetry.enabled and snapshot is not None:
                 self.telemetry.absorb(snapshot)
         results.sort(key=lambda r: r.index)
-        expected = self.plan.num_trials
-        if [r.index for r in results] != list(range(expected)):
+        if [r.index for r in results] != sorted(expected_indices):
             raise EngineError(
-                "merged trial indices are not the contiguous range "
-                f"0..{expected - 1}; the result store does not match "
-                "this campaign")
-        return CampaignResult(plan=self.plan, results=tuple(results),
-                              executed_shards=executed,
-                              resumed_shards=resumed)
+                "merged trial indices do not cover the completed "
+                "shards' planned trials; the result store does not "
+                "match this campaign")
+        if not missing:
+            return CampaignResult(plan=self.plan,
+                                  results=tuple(results),
+                                  executed_shards=executed,
+                                  resumed_shards=resumed)
+        missing_trials = tuple(
+            index for shard in self.plan.shards
+            if shard.shard_id not in completed
+            for index in shard.indices)
+        return PartialCampaignResult(
+            plan=self.plan, results=tuple(results),
+            executed_shards=executed, resumed_shards=resumed,
+            quarantined_shards=tuple(sorted(missing)),
+            missing_trials=missing_trials)
 
 
 def run_campaign(trial_fn: TrialFn, num_trials: int,

@@ -104,12 +104,15 @@ class ProcessPool:
         shards).  A failure in any trial propagates out of the
         iterator; shards already yielded remain journaled by the
         caller, which is exactly what makes a crashed campaign
-        resumable.
+        resumable.  On the way out — error or the caller abandoning
+        the iterator — every not-yet-started shard is cancelled, so a
+        failed campaign does not block behind work nobody will consume.
         """
         if not shards:
             return
         workers = min(self.jobs, len(shards))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
+        executor = ProcessPoolExecutor(max_workers=workers)
+        try:
             pending = {
                 executor.submit(_execute_shard, trial_fn, shard,
                                 of_total, record_telemetry)
@@ -119,6 +122,8 @@ class ProcessPool:
                                      return_when=FIRST_COMPLETED)
                 for future in done:
                     yield future.result()
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     def __repr__(self) -> str:
         return f"ProcessPool(jobs={self.jobs})"

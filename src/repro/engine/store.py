@@ -2,10 +2,15 @@
 
 The :class:`ResultStore` is an append-only JSONL file.  Line one is the
 campaign header (schema version + the plan's SHA-256 fingerprint); every
-subsequent line is one completed shard, carrying its own SHA-256
-integrity hash over the canonical serialisation — the same
-hash-the-canonical-JSON pattern :mod:`repro.cluster.checkpoint` uses for
-AP state.  The failure model:
+subsequent line is one record — a completed ``shard``, a failed
+``attempt`` (the supervisor's retry ledger), or a ``quarantine`` notice
+— carrying its own SHA-256 integrity hash over the canonical
+serialisation, the same hash-the-canonical-JSON pattern
+:mod:`repro.cluster.checkpoint` uses for AP state.  Only ``shard``
+records affect resume: attempt and quarantine lines are the audit
+trail (what failed, when, how it was classified), so a quarantined
+shard is simply *absent* from the journal and re-runs on the next
+resume.  The failure model:
 
 * a campaign killed mid-run leaves at worst one torn final line; the
   loader drops it and the campaign re-runs just that shard;
@@ -25,18 +30,24 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
 from ..telemetry import TelemetrySnapshot
 from .plan import CampaignPlan
+from .policy import FAILURE_KINDS, FailureKind, ShardFailure
 from .shard import ShardResult
 
 __all__ = ["STORE_SCHEMA_VERSION", "ResultStore", "StoreError"]
 
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 """Bump on any change to the journal line layout; the loader refuses
-newer (unknown) schemas rather than misreading them."""
+newer (unknown) schemas rather than misreading them.  Version 2 added
+``attempt`` and ``quarantine`` audit records; v1 journals (shard
+records only) are still readable."""
+
+_READABLE_SCHEMA_VERSIONS = frozenset({1, STORE_SCHEMA_VERSION})
 
 
 class StoreError(Exception):
@@ -102,6 +113,38 @@ class ResultStore:
                 f"JSON-serialisable: {exc}") from exc
         self._append(payload)
 
+    def record_attempt(self, failure: ShardFailure) -> None:
+        """Journal one failed shard attempt (the supervisor's ledger).
+
+        Attempt records never feed resume — a shard is only "done" when
+        a ``shard`` record lands — but they make a flaky campaign
+        diagnosable from its journal alone: which shard, which attempt,
+        and how the supervisor classified the failure.
+        """
+        payload: dict[str, Any] = {
+            "record": "attempt",
+            "shard_id": failure.shard_id,
+            "attempt": failure.attempt,
+            "kind": failure.kind,
+            "detail": failure.detail,
+        }
+        payload["integrity"] = _digest(payload)
+        self._append(payload)
+
+    def record_quarantine(self, shard_ids: tuple[int, ...]) -> None:
+        """Journal the campaign's final quarantine verdict.
+
+        Written once per supervised run that gave up on shards; a later
+        resume still re-attempts them (they have no ``shard`` record),
+        so quarantine is an audit fact, not a permanent sentence.
+        """
+        payload: dict[str, Any] = {
+            "record": "quarantine",
+            "shard_ids": sorted(shard_ids),
+        }
+        payload["integrity"] = _digest(payload)
+        self._append(payload)
+
     # --- reading ----------------------------------------------------------
 
     def load_or_create(self, plan: CampaignPlan
@@ -121,6 +164,56 @@ class ResultStore:
 
     def _load(self, plan: CampaignPlan) -> dict[int, ShardResult]:
         """Parse and verify an existing journal against ``plan``."""
+        completed: dict[int, ShardResult] = {}
+
+        def on_shard(result: ShardResult, position: int) -> None:
+            if not 0 <= result.shard_id < plan.num_shards:
+                raise StoreError(
+                    f"{self.path}:{position}: shard id "
+                    f"{result.shard_id} outside the campaign's "
+                    f"{plan.num_shards} shards")
+            completed[result.shard_id] = result
+
+        self._scan(plan, on_shard=on_shard)
+        return completed
+
+    def load_attempts(self) -> tuple[ShardFailure, ...]:
+        """Every journaled failed attempt, in journal order.
+
+        The diagnostic companion to :meth:`load_or_create`: reads the
+        supervisor's audit records without needing the plan (the header
+        fingerprint is not checked — this is forensics, not resume).
+        """
+        attempts: list[ShardFailure] = []
+
+        def on_attempt(failure: ShardFailure, position: int) -> None:
+            attempts.append(failure)
+
+        self._scan(None, on_attempt=on_attempt)
+        return tuple(attempts)
+
+    def load_quarantined(self) -> tuple[int, ...]:
+        """The union of all journaled quarantine verdicts."""
+        quarantined: set[int] = set()
+
+        def on_quarantine(shard_ids: list[int], position: int) -> None:
+            quarantined.update(shard_ids)
+
+        self._scan(None, on_quarantine=on_quarantine)
+        return tuple(sorted(quarantined))
+
+    def _scan(self, plan: CampaignPlan | None,
+              on_shard: Callable[[ShardResult, int], None] | None = None,
+              on_attempt: Callable[[ShardFailure, int], None] | None = None,
+              on_quarantine: Callable[[list[int], int], None] | None = None,
+              ) -> dict[str, Any]:
+        """One pass over the journal, dispatching verified records.
+
+        Returns the parsed header.  With ``plan`` set, the header must
+        fingerprint-match it; without, only structural checks run.
+        Every record's integrity hash is verified either way; a torn
+        final line is dropped silently, interior corruption raises.
+        """
         text = self.path.read_text(encoding="utf-8")
         lines = text.split("\n")
         if lines and lines[-1] == "":
@@ -129,23 +222,24 @@ class ResultStore:
             raise StoreError(f"{self.path} is empty, not a campaign "
                              "journal")
         header = self._parse_header(lines[0], plan)
-        completed: dict[int, ShardResult] = {}
         for position, line in enumerate(lines[1:], start=2):
             is_last = position == len(lines)
-            result = self._parse_shard(line, position, is_last)
-            if result is None:  # torn tail, dropped
+            payload = self._parse_record(line, position, is_last)
+            if payload is None:  # torn tail, dropped
                 continue
-            if not 0 <= result.shard_id < header["num_shards"]:
-                raise StoreError(
-                    f"{self.path}:{position}: shard id "
-                    f"{result.shard_id} outside the campaign's "
-                    f"{header['num_shards']} shards")
-            completed[result.shard_id] = result
-        return completed
+            record = payload.get("record")
+            if record == "shard" and on_shard is not None:
+                on_shard(self._shard_result(payload, position), position)
+            elif record == "attempt" and on_attempt is not None:
+                on_attempt(self._attempt(payload, position), position)
+            elif record == "quarantine" and on_quarantine is not None:
+                on_quarantine(self._quarantine(payload, position),
+                              position)
+        return header
 
-    def _parse_header(self, line: str, plan: CampaignPlan
+    def _parse_header(self, line: str, plan: CampaignPlan | None
                       ) -> dict[str, Any]:
-        """Validate the campaign header line against the plan."""
+        """Validate the campaign header line (against ``plan`` if given)."""
         try:
             header = json.loads(line)
         except json.JSONDecodeError as exc:
@@ -157,11 +251,13 @@ class ResultStore:
             raise StoreError(f"{self.path}:1: not a campaign journal "
                              "(missing header line)")
         version = header.get("version")
-        if version != STORE_SCHEMA_VERSION:
+        if version not in _READABLE_SCHEMA_VERSIONS:
             raise StoreError(
                 f"{self.path}: unsupported journal schema {version!r} "
-                f"(this build reads {STORE_SCHEMA_VERSION})")
-        if header.get("fingerprint") != plan.fingerprint():
+                f"(this build reads "
+                f"{sorted(_READABLE_SCHEMA_VERSIONS)})")
+        if plan is not None \
+                and header.get("fingerprint") != plan.fingerprint():
             raise StoreError(
                 f"{self.path} was written by a different campaign "
                 f"(seed {header.get('master_seed')!r}, "
@@ -170,21 +266,38 @@ class ResultStore:
                 "resume — remove the file or change --out")
         return header
 
-    def _parse_shard(self, line: str, position: int, is_last: bool
-                     ) -> ShardResult | None:
-        """One shard line -> :class:`ShardResult`; ``None`` if torn tail."""
+    def _parse_record(self, line: str, position: int, is_last: bool
+                      ) -> dict[str, Any] | None:
+        """One journal line -> verified payload; ``None`` if torn tail."""
         try:
             payload = json.loads(line)
             if not isinstance(payload, dict):
-                raise ValueError("shard line is not an object")
+                raise ValueError("journal line is not an object")
             stored = payload.pop("integrity", None)
             if stored is None:
-                raise ValueError("shard line carries no integrity hash")
+                raise ValueError("journal line carries no integrity "
+                                 "hash")
             if _digest(payload) != stored:
-                raise ValueError("shard integrity hash mismatch")
-            if payload.get("record") != "shard":
+                raise ValueError("record integrity hash mismatch")
+            if payload.get("record") not in ("shard", "attempt",
+                                             "quarantine"):
                 raise ValueError(
                     f"unexpected record {payload.get('record')!r}")
+            return payload
+        except (ValueError, KeyError, TypeError) as exc:
+            if is_last:
+                # The crash-safe case: an append died mid-line.  The
+                # record simply re-runs (shard) or is lost (audit).
+                return None
+            raise StoreError(
+                f"{self.path}:{position}: corrupt shard record "
+                f"({exc}); refusing to resume from a damaged "
+                "journal") from exc
+
+    def _shard_result(self, payload: dict[str, Any], position: int
+                      ) -> ShardResult:
+        """A verified ``shard`` payload -> :class:`ShardResult`."""
+        try:
             telemetry = payload["telemetry"]
             return ShardResult(
                 shard_id=int(payload["shard_id"]),
@@ -195,11 +308,35 @@ class ResultStore:
                            else TelemetrySnapshot.from_dict(telemetry)),
             )
         except (ValueError, KeyError, TypeError) as exc:
-            if is_last:
-                # The crash-safe case: an append died mid-line.  The
-                # shard simply re-runs.
-                return None
             raise StoreError(
                 f"{self.path}:{position}: corrupt shard record "
                 f"({exc}); refusing to resume from a damaged "
                 "journal") from exc
+
+    def _attempt(self, payload: dict[str, Any], position: int
+                 ) -> ShardFailure:
+        """A verified ``attempt`` payload -> :class:`ShardFailure`."""
+        try:
+            kind = str(payload["kind"])
+            if kind not in FAILURE_KINDS:
+                raise ValueError(f"unknown failure kind {kind!r}")
+            narrowed: FailureKind = kind  # type: ignore[assignment]
+            return ShardFailure(shard_id=int(payload["shard_id"]),
+                                attempt=int(payload["attempt"]),
+                                kind=narrowed,
+                                detail=str(payload["detail"]))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StoreError(
+                f"{self.path}:{position}: corrupt attempt record "
+                f"({exc})") from exc
+
+    def _quarantine(self, payload: dict[str, Any], position: int
+                    ) -> list[int]:
+        """A verified ``quarantine`` payload -> shard id list."""
+        try:
+            return [int(shard_id)
+                    for shard_id in payload["shard_ids"]]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StoreError(
+                f"{self.path}:{position}: corrupt quarantine record "
+                f"({exc})") from exc

@@ -88,7 +88,7 @@ class MonteCarloRunner:
             num_trials: int,
             progress: Callable[[TrialResult], None] | None = None,
             executor=None, num_shards: int | None = None,
-            store=None) -> list[TrialResult]:
+            store=None, allow_partial: bool = False) -> list[TrialResult]:
         """Execute ``num_trials`` independent trials.
 
         ``progress`` (optional) is invoked with each
@@ -105,6 +105,13 @@ class MonteCarloRunner:
         are identical to the serial path for the same master seed;
         with an executor, ``progress`` fires per trial in index order
         after the merge rather than streaming mid-sweep.
+
+        A supervised executor (:class:`repro.engine.SupervisedPool`)
+        may quarantine shards instead of dying; because ``run`` returns
+        a flat trial list that figure code assumes is complete, a
+        partial campaign raises :class:`repro.engine.EngineError` here
+        unless ``allow_partial=True`` (in which case the surviving
+        trials are returned and the holes are the caller's problem).
         """
         if executor is None and store is None:
             results = []
@@ -113,7 +120,7 @@ class MonteCarloRunner:
                     progress(result)
                 results.append(result)
             return results
-        from ..engine import Campaign
+        from ..engine import Campaign, EngineError, PartialCampaignResult
 
         if num_shards is None:
             num_shards = max(1, getattr(executor, "jobs", 1))
@@ -121,7 +128,17 @@ class MonteCarloRunner:
                             master_seed=self.master_seed,
                             num_shards=num_shards, executor=executor,
                             store=store, telemetry=self.telemetry)
-        merged = list(campaign.run().results)
+        outcome = campaign.run()
+        if isinstance(outcome, PartialCampaignResult) \
+                and not allow_partial:
+            raise EngineError(
+                "campaign completed partially: shards "
+                f"{list(outcome.quarantined_shards)} were quarantined "
+                f"({len(outcome.missing_trials)} of {num_trials} "
+                "trials missing); completed shards are journaled — "
+                "re-run to retry only the quarantined shards, or use "
+                "on_failure='degrade'")
+        merged = list(outcome.results)
         if progress is not None:
             for result in merged:
                 progress(result)

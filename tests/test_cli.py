@@ -73,6 +73,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "fig99"])
 
+    def test_campaign_supervision_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "fig11", "--max-retries", "2",
+             "--shard-timeout", "1.5", "--on-failure", "degrade"])
+        assert args.max_retries == 2
+        assert args.shard_timeout == 1.5
+        assert args.on_failure == "degrade"
+
+    def test_campaign_supervision_defaults_off(self):
+        args = build_parser().parse_args(["campaign", "fig11"])
+        assert args.max_retries is None
+        assert args.shard_timeout is None
+        assert args.on_failure is None
+
+    def test_campaign_rejects_unknown_failure_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "fig11", "--on-failure", "explode"])
+
     def test_telemetry_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["telemetry"])
@@ -180,6 +199,41 @@ class TestCommands:
     def test_campaign_bad_jobs_and_shards_fail(self, capsys):
         assert main(["campaign", "fig11", "--jobs", "0"]) == 2
         assert main(["campaign", "fig11", "--shards", "0"]) == 2
+
+    def test_campaign_bad_supervision_knobs_fail(self, capsys):
+        assert main(["campaign", "fig11", "--max-retries", "-1"]) == 2
+        assert "--max-retries" in capsys.readouterr().err
+        assert main(["campaign", "fig11", "--shard-timeout", "0"]) == 2
+        assert "--shard-timeout" in capsys.readouterr().err
+
+    def test_campaign_supervised_run_matches_unsupervised(self, capsys):
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--shards", "3"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--shards", "3", "--jobs", "2",
+                     "--max-retries", "2",
+                     "--on-failure", "degrade"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        # no fault fired, so no supervision chatter either
+        assert "supervised" not in captured.err
+
+    def test_campaign_failure_diagnostic_is_one_line(
+            self, tmp_path, capsys):
+        store = str(tmp_path / "fig11.jsonl")
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "fig11", "--trials", "7",
+                     "--out", store, "--resume",
+                     "--max-retries", "1"]) == 2
+        err = capsys.readouterr().err
+        diagnostic = [line for line in err.splitlines()
+                      if line.startswith("repro campaign:")]
+        assert len(diagnostic) == 1
+        assert "StoreError" in diagnostic[0]
+        assert f"journal: {store}" in diagnostic[0]
 
     def test_chaos_ap_crash(self, capsys):
         assert main(["chaos", "--ap-crash", "--seed", "7"]) == 0

@@ -13,8 +13,11 @@ The load-bearing guarantees under test:
 
 from __future__ import annotations
 
+import functools
 import gc
 import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -49,6 +52,18 @@ def failing_trial(rng, index):
 
 def non_dict_trial(rng, index):
     return 42
+
+
+def marker_trial(rng, index, marker_dir):
+    """Touches a per-trial marker file; trial 0 explodes immediately,
+    every other trial lingers long enough for cancellation to land.
+    Module-level (used via ``functools.partial``) so workers can
+    unpickle it."""
+    Path(marker_dir, f"trial-{index}.started").touch()
+    if index == 0:
+        raise RuntimeError("trial 0 exploded")
+    time.sleep(0.2)
+    return {"x": 1.0}
 
 
 class TestCampaignPlan:
@@ -308,6 +323,22 @@ class TestEngineErrors:
             ProcessPool(jobs=0)
         assert ProcessPool(jobs=3).jobs == 3
         assert default_job_count() >= 1
+
+    def test_failed_campaign_cancels_pending_shards(self, tmp_path):
+        # One worker, six single-trial shards: shard 0 explodes
+        # immediately, so the pool must cancel the queued shards on the
+        # way out instead of burning through them.  The executor's call
+        # queue pre-buffers ``max_workers + 1`` shards that can no
+        # longer be cancelled, so shards 1-3 may still start — but the
+        # tail must not.
+        trial = functools.partial(marker_trial,
+                                  marker_dir=str(tmp_path))
+        with pytest.raises(RuntimeError, match="trial 0"):
+            run_campaign(trial, 6, num_shards=6,
+                         executor=ProcessPool(jobs=1))
+        started = {p.name for p in tmp_path.iterdir()}
+        assert "trial-0.started" in started
+        assert not started & {"trial-4.started", "trial-5.started"}
 
 
 class TestRunnerIntegration:
