@@ -17,6 +17,10 @@ Commands
                            ``--on-failure fail|quarantine|degrade``)
 ``telemetry summarize F``  per-subsystem tables from a JSONL export
 ``telemetry flame F``      collapsed flamegraph stacks from a JSONL export
+``fsck PATHS...``          scan campaign journals / AP checkpoints /
+                           telemetry exports for corruption; ``--repair``
+                           salvages the valid records and quarantines
+                           the damaged ones; nonzero exit on damage
 ``lint [paths...]``        run the reprolint static analyser (repo checkouts)
 ``list``                   available experiment names
 """
@@ -129,6 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
     flame = tele_sub.add_parser(
         "flame", help="emit collapsed flamegraph stacks (sim-time µs)")
     flame.add_argument("path", help="telemetry JSONL export file")
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify (and repair) durable artifacts: campaign "
+             "journals, AP checkpoints, telemetry exports")
+    fsck.add_argument("paths", nargs="+",
+                      help="artifact files to check")
+    fsck.add_argument("--repair", action="store_true",
+                      help="salvage valid records in place: damaged "
+                           "lines move to a .quarantine sidecar and "
+                           "the artifact is rewritten atomically")
+    fsck.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit one JSON report object per path")
 
     lint = sub.add_parser(
         "lint", help="run the reprolint static analyser over the repo")
@@ -465,6 +482,21 @@ def _cmd_telemetry(command: str, path: str) -> int:
     raise AssertionError("unreachable")
 
 
+def _cmd_fsck(paths: list[str], repair: bool, as_json: bool) -> int:
+    import json
+
+    from .durability import fsck_paths
+
+    reports, exit_code = fsck_paths(paths, repair=repair)
+    if as_json:
+        print(json.dumps([report.to_dict() for report in reports],
+                         indent=1, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.summary())
+    return exit_code
+
+
 def _cmd_lint(paths: list[str], as_json: bool) -> int:
     # The linter lives in tools/ (it is repo tooling, not part of the
     # installed package), so `repro lint` only works from a checkout:
@@ -510,6 +542,8 @@ def main(argv: list[str] | None = None) -> int:
                              args.on_failure)
     if args.command == "telemetry":
         return _cmd_telemetry(args.telemetry_command, args.path)
+    if args.command == "fsck":
+        return _cmd_fsck(args.paths, args.repair, args.as_json)
     if args.command == "lint":
         return _cmd_lint(args.paths, args.as_json)
     if args.command == "list":

@@ -19,11 +19,12 @@ into a void).  :class:`ApCheckpoint` makes that state durable:
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import asdict, dataclass
 
 from ..core.ask_fsk import AskFskConfig
+from ..durability.integrity import digest as _digest
+from ..durability.io import FsBackend, atomic_replace
 from ..network.fdm import ChannelPlan, FdmAllocator
 
 __all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointError", "ApCheckpoint"]
@@ -35,12 +36,6 @@ newer (unknown) schemas rather than misreading them."""
 
 class CheckpointError(Exception):
     """Raised when a checkpoint is unreadable, tampered, or too new."""
-
-
-def _digest(state: dict) -> str:
-    """SHA-256 over the canonical (sorted-keys) JSON serialisation."""
-    blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -157,10 +152,16 @@ class ApCheckpoint:
             raise CheckpointError(f"checkpoint is not JSON: {exc}") from exc
         return cls.from_dict(data)
 
-    def save(self, path) -> None:
-        """Write the checkpoint to a file (atomic enough for a sim)."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json())
+    def save(self, path, fs: FsBackend | None = None) -> None:
+        """Write the checkpoint to a file, atomically and durably.
+
+        Routed through :func:`repro.durability.atomic_replace`
+        (write-temp → fsync → rename → fsync parent dir): a crash at
+        any point leaves either the previous checkpoint or this one,
+        never a half-written file — the property the old
+        "atomic enough for a sim" ``open()``-and-write lacked.
+        """
+        atomic_replace(path, self.to_json() + "\n", fs=fs)
 
     @classmethod
     def load(cls, path) -> ApCheckpoint:

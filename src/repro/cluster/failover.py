@@ -31,13 +31,15 @@ schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
+from ..durability.io import FsBackend
 from ..network.fdm import SpectrumExhausted
 from ..node.access_point import MmxAccessPoint
 from ..telemetry import NullRecorder, TelemetryRecorder
-from .checkpoint import ApCheckpoint
+from .checkpoint import ApCheckpoint, CheckpointError
 from .heartbeat import HeartbeatMonitor
 
 __all__ = ["ApMember", "Cluster", "FailoverResult", "FailoverSimulation"]
@@ -57,7 +59,9 @@ class Cluster:
     """A set of APs sharing responsibility for one node population."""
 
     def __init__(self, aps, heartbeat: HeartbeatMonitor | None = None,
-                 telemetry: TelemetryRecorder | None = None):
+                 telemetry: TelemetryRecorder | None = None,
+                 checkpoint_dir: str | Path | None = None,
+                 fs: FsBackend | None = None):
         if not aps:
             raise ValueError("a cluster needs at least one AP")
         self.members: dict[int, ApMember] = {
@@ -78,6 +82,20 @@ class Cluster:
         self._preferences: dict[int, tuple[int, ...]] = {}
         self._rates: dict[int, float] = {}
         self._ap_outage_spans: dict[int, object] = {}
+        self.checkpoint_dir = (None if checkpoint_dir is None
+                               else Path(checkpoint_dir))
+        """When set, :meth:`checkpoint_all` also persists every capture
+        to ``<dir>/ap<ID>.ckpt`` (atomically, via the
+        :mod:`repro.durability` seam), and :meth:`recover` falls back to
+        the on-disk copy when the in-memory one is gone — the process-
+        restart story the in-memory checkpoints cannot cover."""
+        self.fs = fs
+        """Injectable durability backend for checkpoint persistence."""
+        self.recovery_errors: list[tuple[int, str]] = []
+        """``(ap_id, reason)`` per checkpoint that could not be used at
+        recovery time (corrupt, unreadable).  Recovery *reports* the
+        damage and reboots the AP empty instead of raising mid-failover
+        — ``repro fsck`` on the checkpoint file tells the rest."""
 
     # --- membership -------------------------------------------------------
 
@@ -133,14 +151,28 @@ class Cluster:
 
     # --- checkpointing ----------------------------------------------------
 
+    def checkpoint_path(self, ap_id: int) -> Path:
+        """Where one AP's on-disk checkpoint lives (dir must be set)."""
+        if self.checkpoint_dir is None:
+            raise ValueError("cluster has no checkpoint_dir")
+        return self.checkpoint_dir / f"ap{ap_id}.ckpt"
+
     def checkpoint_all(self) -> dict[int, ApCheckpoint]:
-        """Snapshot every alive AP (dead ones keep their last capture)."""
+        """Snapshot every alive AP (dead ones keep their last capture).
+
+        With a ``checkpoint_dir``, each fresh capture is also persisted
+        atomically; a crash mid-save leaves the previous on-disk
+        checkpoint intact, never a torn file.
+        """
         out = {}
         captured = 0
         for member in self.members.values():
             if member.alive:
                 member.checkpoint = ApCheckpoint.capture(member.ap)
                 captured += 1
+                if self.checkpoint_dir is not None:
+                    member.checkpoint.save(
+                        self.checkpoint_path(member.ap_id), fs=self.fs)
             if member.checkpoint is not None:
                 out[member.ap_id] = member.checkpoint
         if self.telemetry.enabled and captured:
@@ -148,6 +180,12 @@ class Cluster:
         return out
 
     # --- failure and recovery ---------------------------------------------
+
+    def _report_bad_checkpoint(self, ap_id: int, reason: str) -> None:
+        """Record (never raise) one unusable checkpoint at recovery."""
+        self.recovery_errors.append((ap_id, reason))
+        if self.telemetry.enabled:
+            self.telemetry.count("cluster.corrupt_checkpoints")
 
     def crash(self, ap_id: int) -> None:
         """Kill an AP (it silently stops beating; detection comes later)."""
@@ -222,20 +260,52 @@ class Cluster:
         that never checkpointed reboots empty — every registration it
         held is simply gone, which is the whole argument for the
         checkpoint cadence.
+
+        A checkpoint that turns out to be corrupt (in memory that can't
+        happen, but an on-disk one can rot, tear, or be tampered with)
+        is *skipped and reported* — logged on
+        :attr:`recovery_errors`, counted as
+        ``cluster.corrupt_checkpoints`` — and the AP reboots empty.
+        Raising mid-failover would turn one bad file into a cluster
+        outage; ``repro fsck`` on the file tells the rest of the story.
         """
         member = self.members[ap_id]
         if member.alive:
             raise ValueError(f"AP {ap_id} is not down")
-        if member.checkpoint is not None:
-            member.ap = member.checkpoint.restore()
-        else:
-            member.ap = MmxAccessPoint()
+        checkpoint = member.checkpoint
+        if checkpoint is None and self.checkpoint_dir is not None:
+            # Process-restart path: the in-memory capture is gone, but
+            # the last persisted one may survive on disk.
+            path = self.checkpoint_path(ap_id)
+            if path.exists():
+                try:
+                    checkpoint = ApCheckpoint.load(path)
+                except (CheckpointError, OSError) as exc:
+                    self._report_bad_checkpoint(ap_id, str(exc))
+        member.ap = MmxAccessPoint()
+        if checkpoint is not None:
+            try:
+                member.ap = checkpoint.restore()
+            except (CheckpointError, KeyError, TypeError,
+                    ValueError) as exc:
+                self._report_bad_checkpoint(ap_id, str(exc))
         for node_id in list(member.ap.registered_nodes):
-            if self.serving.get(node_id) == ap_id:
+            owner = self.serving.get(node_id)
+            if owner == ap_id:
                 continue          # never migrated; still ours
             if node_id in self.orphaned:
                 self.orphaned.discard(node_id)
                 self.serving[node_id] = ap_id
+            elif owner is None:
+                # A node this cluster has never seen: we are a restarted
+                # process and the checkpoint is the only record of it.
+                # Adopt it (default preference, checkpointed rate).
+                self.serving[node_id] = ap_id
+                self._preferences.setdefault(
+                    node_id, tuple(sorted(self.members)))
+                registration = member.ap.registration(node_id)
+                self._rates.setdefault(
+                    node_id, float(registration.config.bit_rate_bps))
             else:
                 member.ap.deregister_node(node_id)
         member.alive = True

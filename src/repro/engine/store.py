@@ -4,36 +4,48 @@ The :class:`ResultStore` is an append-only JSONL file.  Line one is the
 campaign header (schema version + the plan's SHA-256 fingerprint); every
 subsequent line is one record — a completed ``shard``, a failed
 ``attempt`` (the supervisor's retry ledger), or a ``quarantine`` notice
-— carrying its own SHA-256 integrity hash over the canonical
-serialisation, the same hash-the-canonical-JSON pattern
-:mod:`repro.cluster.checkpoint` uses for AP state.  Only ``shard``
-records affect resume: attempt and quarantine lines are the audit
-trail (what failed, when, how it was classified), so a quarantined
-shard is simply *absent* from the journal and re-runs on the next
-resume.  The failure model:
+— sealed with its own SHA-256 integrity hash over the canonical
+serialisation (:mod:`repro.durability.integrity`, the same authority
+:mod:`repro.cluster.checkpoint` uses).  Only ``shard`` records affect
+resume: attempt and quarantine lines are the audit trail, so a
+quarantined shard is simply *absent* from the journal and re-runs on
+the next resume.
 
-* a campaign killed mid-run leaves at worst one torn final line; the
+All I/O goes through the :mod:`repro.durability` seam.  The failure
+model:
+
+* creation is atomic (write-temp → fsync → rename → fsync parent dir),
+  so a crash right after journal creation can no longer lose the whole
+  file to an unsynced directory entry;
+* each shard line is appended with fsync as it lands, so the journal is
+  never more than one shard behind the computation it protects;
+* a campaign killed mid-append leaves at worst one torn final line; the
   loader drops it and the campaign re-runs just that shard;
-* a journal whose *interior* is corrupt (bit rot, tampering, truncation
-  anywhere but the tail) is rejected with :class:`StoreError` — resume
-  never silently mixes good and bad shards;
+* a journal whose *interior* is corrupt (bit rot, a lying short write,
+  tampering) has the damaged records **quarantined** — skipped,
+  reported on :attr:`ResultStore.last_scan`, and re-run — never merged
+  and never silently mixed with good shards (``repro fsck`` repairs
+  the file in place);
 * a journal written by a *different* campaign (other seed, trial count
-  or shard layout) fails the fingerprint check and is rejected rather
-  than partially reused.
-
-Each shard line is flushed and fsynced as it lands, so the journal is
-never more than one shard behind the computation it protects.
+  or shard layout) fails the fingerprint check and is rejected with
+  :class:`StoreError` rather than partially reused, as is a journal
+  whose header is unreadable (with no trustworthy header, nothing
+  below it can be attributed to this campaign).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
 from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
+from ..durability.fsck import (
+    JOURNAL_SCHEMAS,
+    JournalScan,
+    scan_journal_text,
+)
+from ..durability.integrity import canonical_json, digest
+from ..durability.io import FsBackend, append_line, atomic_replace
 from ..telemetry import TelemetrySnapshot
 from .plan import CampaignPlan
 from .policy import FAILURE_KINDS, FailureKind, ShardFailure
@@ -47,40 +59,44 @@ newer (unknown) schemas rather than misreading them.  Version 2 added
 ``attempt`` and ``quarantine`` audit records; v1 journals (shard
 records only) are still readable."""
 
-_READABLE_SCHEMA_VERSIONS = frozenset({1, STORE_SCHEMA_VERSION})
+_READABLE_SCHEMA_VERSIONS = JOURNAL_SCHEMAS
+"""Shared with ``repro fsck`` so the store and the repair tool can
+never disagree about which journals are readable."""
 
 
 class StoreError(Exception):
     """Raised when a campaign journal is unreadable or mismatched."""
 
 
-def _canonical(payload: dict[str, Any]) -> str:
-    """Canonical one-line JSON: sorted keys, fixed separators."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def _digest(payload: dict[str, Any]) -> str:
-    """SHA-256 over the canonical serialisation of ``payload``."""
-    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
-
-
 class ResultStore:
     """Append-only JSONL journal of one campaign's completed shards."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path,
+                 fs: FsBackend | None = None) -> None:
         self.path = Path(path)
+        self.fs = fs
+        """Injectable durability backend (``None`` = the real disk);
+        tests hand a :class:`repro.durability.FaultyFs` here to replay
+        seeded storage chaos against the journal."""
+
+        self.last_scan: JournalScan | None = None
+        """The line-by-line classification of the most recent read —
+        including any quarantined corrupt records — for forensics."""
 
     # --- writing ----------------------------------------------------------
 
     def _append(self, payload: dict[str, Any]) -> None:
-        """Append one canonical line, flushed and fsynced to disk."""
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(_canonical(payload) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        """Append one canonical line, written and fsynced via the seam."""
+        append_line(self.path, canonical_json(payload) + "\n",
+                    fs=self.fs)
 
     def create(self, plan: CampaignPlan) -> None:
-        """Start a fresh journal for ``plan`` (truncates any old file)."""
+        """Start a fresh journal for ``plan`` (replaces any old file).
+
+        Atomic: the header is published by rename and the parent
+        directory is fsynced, so a crash leaves either no journal or a
+        complete one-line journal — never an empty or torn file.
+        """
         header = {
             "record": "campaign",
             "format": "repro-engine",
@@ -90,10 +106,8 @@ class ResultStore:
             "num_trials": plan.num_trials,
             "num_shards": plan.num_shards,
         }
-        with open(self.path, "w", encoding="utf-8") as fh:
-            fh.write(_canonical(header) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        atomic_replace(self.path, canonical_json(header) + "\n",
+                       fs=self.fs)
 
     def record_shard(self, result: ShardResult) -> None:
         """Journal one completed shard with an integrity hash."""
@@ -106,7 +120,7 @@ class ResultStore:
                           else result.telemetry.to_dict()),
         }
         try:
-            payload["integrity"] = _digest(payload)
+            payload["integrity"] = digest(payload)
         except (TypeError, ValueError) as exc:
             raise StoreError(
                 f"shard {result.shard_id} values are not "
@@ -128,7 +142,7 @@ class ResultStore:
             "kind": failure.kind,
             "detail": failure.detail,
         }
-        payload["integrity"] = _digest(payload)
+        payload["integrity"] = digest(payload)
         self._append(payload)
 
     def record_quarantine(self, shard_ids: tuple[int, ...]) -> None:
@@ -142,7 +156,7 @@ class ResultStore:
             "record": "quarantine",
             "shard_ids": sorted(shard_ids),
         }
-        payload["integrity"] = _digest(payload)
+        payload["integrity"] = digest(payload)
         self._append(payload)
 
     # --- reading ----------------------------------------------------------
@@ -153,9 +167,11 @@ class ResultStore:
 
         Creates a fresh journal (and returns ``{}``) when the file does
         not exist.  When it does, the header's fingerprint must match
-        the plan; a torn final line is dropped silently (the crash-safe
-        append case) while any other corruption raises
-        :class:`StoreError`.
+        the plan; a torn final line is dropped (the crash-safe append
+        case) and corrupt interior records are quarantined — skipped
+        and reported on :attr:`last_scan`, so their shards simply
+        re-run.  Only an unusable header (not a journal, unreadable
+        schema, wrong campaign) raises :class:`StoreError`.
         """
         if not self.path.exists():
             self.create(plan)
@@ -202,6 +218,13 @@ class ResultStore:
         self._scan(None, on_quarantine=on_quarantine)
         return tuple(sorted(quarantined))
 
+    @property
+    def quarantined_lines(self) -> tuple[int, ...]:
+        """Line numbers quarantined by the most recent read (forensics)."""
+        if self.last_scan is None:
+            return ()
+        return tuple(issue.line for issue in self.last_scan.corrupt)
+
     def _scan(self, plan: CampaignPlan | None,
               on_shard: Callable[[ShardResult, int], None] | None = None,
               on_attempt: Callable[[ShardFailure, int], None] | None = None,
@@ -211,22 +234,25 @@ class ResultStore:
 
         Returns the parsed header.  With ``plan`` set, the header must
         fingerprint-match it; without, only structural checks run.
-        Every record's integrity hash is verified either way; a torn
-        final line is dropped silently, interior corruption raises.
+        Classification is delegated to
+        :func:`repro.durability.fsck.scan_journal_text` — the *same*
+        scanner ``repro fsck`` uses — so resume and repair can never
+        disagree about what is damaged: every record's integrity hash
+        is verified, a torn final line is dropped, and corrupt interior
+        records are quarantined (skipped, kept on :attr:`last_scan`).
         """
-        text = self.path.read_text(encoding="utf-8")
-        lines = text.split("\n")
-        if lines and lines[-1] == "":
-            lines.pop()
-        if not lines:
-            raise StoreError(f"{self.path} is empty, not a campaign "
-                             "journal")
-        header = self._parse_header(lines[0], plan)
-        for position, line in enumerate(lines[1:], start=2):
-            is_last = position == len(lines)
-            payload = self._parse_record(line, position, is_last)
-            if payload is None:  # torn tail, dropped
-                continue
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except UnicodeDecodeError as exc:
+            raise StoreError(
+                f"{self.path}: not UTF-8 ({exc}); not a journal this "
+                "build can read") from exc
+        scan = scan_journal_text(text)
+        self.last_scan = scan
+        if scan.header_error is not None or scan.header is None:
+            raise StoreError(f"{self.path}:1: {scan.header_error}")
+        header = self._check_header(scan.header, plan)
+        for position, payload, _raw in scan.records:
             record = payload.get("record")
             if record == "shard" and on_shard is not None:
                 on_shard(self._shard_result(payload, position), position)
@@ -237,25 +263,9 @@ class ResultStore:
                               position)
         return header
 
-    def _parse_header(self, line: str, plan: CampaignPlan | None
-                      ) -> dict[str, Any]:
-        """Validate the campaign header line (against ``plan`` if given)."""
-        try:
-            header = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise StoreError(
-                f"{self.path}:1: campaign header is not JSON: "
-                f"{exc}") from exc
-        if not isinstance(header, dict) \
-                or header.get("record") != "campaign":
-            raise StoreError(f"{self.path}:1: not a campaign journal "
-                             "(missing header line)")
-        version = header.get("version")
-        if version not in _READABLE_SCHEMA_VERSIONS:
-            raise StoreError(
-                f"{self.path}: unsupported journal schema {version!r} "
-                f"(this build reads "
-                f"{sorted(_READABLE_SCHEMA_VERSIONS)})")
+    def _check_header(self, header: dict[str, Any],
+                      plan: CampaignPlan | None) -> dict[str, Any]:
+        """Campaign-identity check (the scanner did the structure)."""
         if plan is not None \
                 and header.get("fingerprint") != plan.fingerprint():
             raise StoreError(
@@ -265,34 +275,6 @@ class ResultStore:
                 f"{header.get('num_shards')!r} shards); refusing to "
                 "resume — remove the file or change --out")
         return header
-
-    def _parse_record(self, line: str, position: int, is_last: bool
-                      ) -> dict[str, Any] | None:
-        """One journal line -> verified payload; ``None`` if torn tail."""
-        try:
-            payload = json.loads(line)
-            if not isinstance(payload, dict):
-                raise ValueError("journal line is not an object")
-            stored = payload.pop("integrity", None)
-            if stored is None:
-                raise ValueError("journal line carries no integrity "
-                                 "hash")
-            if _digest(payload) != stored:
-                raise ValueError("record integrity hash mismatch")
-            if payload.get("record") not in ("shard", "attempt",
-                                             "quarantine"):
-                raise ValueError(
-                    f"unexpected record {payload.get('record')!r}")
-            return payload
-        except (ValueError, KeyError, TypeError) as exc:
-            if is_last:
-                # The crash-safe case: an append died mid-line.  The
-                # record simply re-runs (shard) or is lost (audit).
-                return None
-            raise StoreError(
-                f"{self.path}:{position}: corrupt shard record "
-                f"({exc}); refusing to resume from a damaged "
-                "journal") from exc
 
     def _shard_result(self, payload: dict[str, Any], position: int
                       ) -> ShardResult:

@@ -27,6 +27,7 @@ import math
 from pathlib import Path
 from typing import Any
 
+from ..durability.io import FsBackend, atomic_replace
 from .recorder import Recorder
 from .tracer import SpanRecord
 
@@ -90,11 +91,15 @@ def to_jsonl(recorder: Recorder) -> str:
     return "\n".join(to_jsonl_lines(recorder)) + "\n"
 
 
-def write_jsonl(recorder: Recorder, path: str | Path) -> Path:
-    """Write the JSONL export to ``path``; returns the path written."""
-    path = Path(path)
-    path.write_text(to_jsonl(recorder), encoding="utf-8")
-    return path
+def write_jsonl(recorder: Recorder, path: str | Path,
+                fs: FsBackend | None = None) -> Path:
+    """Write the JSONL export to ``path``; returns the path written.
+
+    Atomic and durable (:func:`repro.durability.atomic_replace`): a
+    crash mid-export leaves the previous file or none, never a torn
+    one — a half-written export would replay as a *different* run.
+    """
+    return atomic_replace(Path(path), to_jsonl(recorder), fs=fs)
 
 
 def to_csv(recorder: Recorder) -> str:
@@ -136,11 +141,13 @@ def to_csv(recorder: Recorder) -> str:
     return "\n".join(rows) + "\n"
 
 
-def write_csv(recorder: Recorder, path: str | Path) -> Path:
-    """Write the CSV export to ``path``; returns the path written."""
-    path = Path(path)
-    path.write_text(to_csv(recorder), encoding="utf-8")
-    return path
+def write_csv(recorder: Recorder, path: str | Path,
+              fs: FsBackend | None = None) -> Path:
+    """Write the CSV export to ``path``; returns the path written.
+
+    Atomic and durable, like :func:`write_jsonl`.
+    """
+    return atomic_replace(Path(path), to_csv(recorder), fs=fs)
 
 
 def collapsed_stacks(spans: list[SpanRecord]) -> list[str]:

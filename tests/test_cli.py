@@ -106,6 +106,16 @@ class TestParser:
         args = build_parser().parse_args(["telemetry", "flame", "x.jsonl"])
         assert args.telemetry_command == "flame"
 
+    def test_fsck_options(self):
+        args = build_parser().parse_args(
+            ["fsck", "a.jsonl", "b.ckpt", "--repair", "--json"])
+        assert args.paths == ["a.jsonl", "b.ckpt"]
+        assert args.repair and args.as_json
+
+    def test_fsck_requires_a_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fsck"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -296,3 +306,63 @@ class TestCommands:
         bad.write_text("this is not json\n", encoding="utf-8")
         assert main(["telemetry", "summarize", str(bad)]) == 2
         assert "not a telemetry JSONL" in capsys.readouterr().err
+
+    def _damaged_journal(self, tmp_path, capsys):
+        """A real fig11 campaign journal with one corrupted record."""
+        store = tmp_path / "fig11.jsonl"
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", str(store)]) == 0
+        capsys.readouterr()
+        lines = store.read_text().splitlines()
+        lines[1] = lines[1].replace('"record":"shard"',
+                                    '"record":"sharf"')
+        store.write_text("\n".join(lines) + "\n")
+        return store
+
+    def test_fsck_clean_journal_exits_zero(self, tmp_path, capsys):
+        store = tmp_path / "fig11.jsonl"
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["fsck", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and out.count("\n") == 1
+
+    def test_fsck_detect_repair_verify_cycle(self, tmp_path, capsys):
+        store = self._damaged_journal(tmp_path, capsys)
+
+        assert main(["fsck", str(store)]) == 1
+        first = capsys.readouterr().out
+        assert "--repair" in first and first.count("\n") == 1
+
+        assert main(["fsck", str(store), "--repair"]) == 1
+        assert "quarantine" in capsys.readouterr().out
+
+        assert main(["fsck", str(store)]) == 0
+        # The repaired journal resumes the campaign cleanly.
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", str(store), "--resume"]) == 0
+
+    def test_fsck_json_reports(self, tmp_path, capsys):
+        import json
+
+        store = self._damaged_journal(tmp_path, capsys)
+        assert main(["fsck", str(store), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["kind"] == "journal"
+        assert payload[0]["exit_code"] == 1
+        assert payload[0]["issues"]
+
+    def test_fsck_missing_file_is_fatal(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "nope.jsonl")]) == 2
+        assert "FATAL" in capsys.readouterr().out
+
+    def test_fsck_worst_exit_code_wins(self, tmp_path, capsys):
+        store = tmp_path / "fig11.jsonl"
+        assert main(["campaign", "fig11", "--trials", "6",
+                     "--out", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["fsck", str(store),
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert len(capsys.readouterr().out.splitlines()) == 2

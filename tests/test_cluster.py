@@ -213,6 +213,71 @@ class TestCluster:
         with pytest.raises(ValueError):
             cluster.register_node(0, 1e6)
 
+    def _disk_cluster(self, tmp_path, num_aps=2):
+        return Cluster(
+            aps=[MmxAccessPoint() for _ in range(num_aps)],
+            heartbeat=HeartbeatMonitor(interval_s=0.5,
+                                       miss_threshold=2),
+            checkpoint_dir=tmp_path)
+
+    def test_checkpoint_dir_persists_every_capture(self, tmp_path):
+        cluster = self._disk_cluster(tmp_path)
+        cluster.register_node(0, 1e6, preference=[0, 1])
+        cluster.checkpoint_all()
+        for ap_id in (0, 1):
+            loaded = ApCheckpoint.load(tmp_path / f"ap{ap_id}.ckpt")
+            assert loaded == cluster.members[ap_id].checkpoint
+
+    def test_recover_falls_back_to_disk_checkpoint(self, tmp_path):
+        """Process restart: in-memory captures gone, disk survives."""
+        first = self._disk_cluster(tmp_path)
+        first.register_node(0, 1e6, preference=[0, 1])
+        first.checkpoint_all()
+
+        rebooted = self._disk_cluster(tmp_path)
+        rebooted.crash(0)
+        restored = rebooted.recover(0, 1.0)
+        assert restored.registered_nodes == [0]
+        assert rebooted.recovery_errors == []
+
+    def test_recover_skips_and_reports_corrupt_checkpoint(
+            self, tmp_path):
+        """Satellite (b): a rotten checkpoint file must not take the
+        failover path down with it — skip, report, reboot empty."""
+        cluster = self._disk_cluster(tmp_path)
+        cluster.register_node(0, 1e6, preference=[0, 1])
+        cluster.checkpoint_all()
+        path = tmp_path / "ap0.ckpt"
+        path.write_text(path.read_text().replace('"plans"', '"plons"'))
+
+        rebooted = self._disk_cluster(tmp_path)
+        rebooted.crash(0)
+        restored = rebooted.recover(0, 1.0)   # does not raise
+        assert restored.registered_nodes == []
+        assert rebooted.members[0].alive
+        assert len(rebooted.recovery_errors) == 1
+        ap_id, reason = rebooted.recovery_errors[0]
+        assert ap_id == 0 and "integrity" in reason
+
+    def test_corrupt_checkpoint_recovery_counts_telemetry(
+            self, tmp_path):
+        from repro.telemetry import Recorder
+
+        recorder = Recorder()
+        cluster = Cluster(
+            aps=[MmxAccessPoint()],
+            heartbeat=HeartbeatMonitor(interval_s=0.5,
+                                       miss_threshold=2),
+            telemetry=recorder, checkpoint_dir=tmp_path)
+        cluster.checkpoint_all()
+        (tmp_path / "ap0.ckpt").write_text("junk\n")
+        cluster.members[0].checkpoint = None  # simulate restart
+        cluster.crash(0)
+        cluster.recover(0, 1.0)
+        counters = {c.name: c.value
+                    for c in recorder.metrics.counters()}
+        assert counters.get("cluster.corrupt_checkpoints") == 1
+
     def test_empty_cluster_rejected(self):
         with pytest.raises(ValueError):
             Cluster(aps=[])

@@ -239,14 +239,31 @@ class TestResultStore:
         assert outcome.resumed_shards == (0, 1)
         assert outcome.executed_shards == (2,)
 
-    def test_interior_corruption_rejected(self, tmp_path):
+    def test_interior_corruption_quarantined_and_rerun(self, tmp_path):
         store_path = tmp_path / "campaign.jsonl"
         run_campaign(uniform_trial, 6, num_shards=3, store=store_path)
         lines = store_path.read_text().splitlines()
         lines[1] = lines[1].replace('"record":"shard"',
                                     '"record":"sharf"')
         store_path.write_text("\n".join(lines) + "\n")
-        with pytest.raises(StoreError, match="corrupt shard record"):
+        store = ResultStore(store_path)
+        outcome = run_campaign(uniform_trial, 6, num_shards=3,
+                               store=store)
+        # The damaged record was quarantined (reported, never merged)
+        # and its shard re-ran; the others resumed untouched.
+        assert store.quarantined_lines == (2,)
+        assert outcome.resumed_shards == (1, 2)
+        assert outcome.executed_shards == (0,)
+        clean = run_campaign(uniform_trial, 6, num_shards=3)
+        assert [r.values for r in outcome.results] \
+            == [r.values for r in clean.results]
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        store_path = tmp_path / "campaign.jsonl"
+        run_campaign(uniform_trial, 6, num_shards=3, store=store_path)
+        text = store_path.read_text()
+        store_path.write_text("garbage" + text)
+        with pytest.raises(StoreError, match="not JSON"):
             run_campaign(uniform_trial, 6, num_shards=3,
                          store=store_path)
 

@@ -33,9 +33,9 @@ def codes_in(path: Path, **kwargs) -> set[str]:
 
 
 class TestRulePack:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert {"UNITS001", "UNITS002", "RNG001", "DET001", "API001",
-                "EXC001"} <= set(all_rules())
+                "EXC001", "DUR001"} <= set(all_rules())
 
     @pytest.mark.parametrize("code,bad,ok", [
         ("UNITS001", "units001_bad.py", "units001_ok.py"),
@@ -46,6 +46,8 @@ class TestRulePack:
         ("DET001", "det001_worker_bad.py", "det001_worker_ok.py"),
         ("API001", "api001_bad/__init__.py", "api001_ok/__init__.py"),
         ("EXC001", "exc001_bad.py", "exc001_ok.py"),
+        ("DUR001", "dur001_bad/engine/writer.py",
+         "dur001_ok/engine/writer.py"),
     ])
     def test_positive_and_negative_fixture(self, code, bad, ok):
         assert code in codes_in(FIXTURES / bad), f"{code} missed {bad}"
@@ -70,6 +72,16 @@ class TestRulePack:
 
     def test_exc001_allows_observe_and_reraise(self):
         assert "EXC001" not in codes_in(FIXTURES / "exc001_ok.py")
+
+    def test_dur001_only_fires_under_scoped_directories(self):
+        """The same raw writes outside engine/cluster/telemetry pass."""
+        assert "DUR001" not in codes_in(FIXTURES / "dur001_unscoped.py")
+
+    def test_dur001_counts_every_raw_write(self):
+        findings = [f for f in lint_file(
+            FIXTURES / "dur001_bad" / "engine" / "writer.py")
+            if f.code == "DUR001"]
+        assert len(findings) == 3
 
     def test_parse_errors_become_findings(self):
         assert codes_in(FIXTURES / "parse_error.py") == {"PARSE001"}
@@ -129,7 +141,7 @@ class TestCliContract:
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("UNITS001", "UNITS002", "RNG001", "DET001",
-                     "API001", "EXC001"):
+                     "API001", "EXC001", "DUR001"):
             assert code in out
 
     def test_directory_invocation_via_subprocess(self):

@@ -5,6 +5,7 @@ import it below) to extend the pack.  See ``docs/static-analysis.md``
 for the rule-authoring walkthrough.
 """
 
-from . import api, determinism, exceptions, rng, units
+from . import api, determinism, durability, exceptions, rng, units
 
-__all__ = ["api", "determinism", "exceptions", "rng", "units"]
+__all__ = ["api", "determinism", "durability", "exceptions", "rng",
+           "units"]

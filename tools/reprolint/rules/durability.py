@@ -1,0 +1,85 @@
+"""DUR001: persistent artifacts must go through the durability seam.
+
+PR 7 built ``repro.durability`` so that every persistent artifact —
+campaign journals, AP checkpoints, telemetry exports — is written
+atomically (write-temp → fsync → rename → fsync parent dir) or
+appended with fsync.  A raw ``open(path, "w")`` or
+``Path.write_text`` in :mod:`repro.engine`, :mod:`repro.cluster` or
+:mod:`repro.telemetry` reintroduces exactly the failure modes the seam
+closed: a crash mid-write tears the file, an unsynced directory entry
+loses it entirely, and the fault-injection harness
+(:class:`repro.durability.FaultyFs`) can no longer see the write.
+
+Read-mode opens are fine — torn *reads* are what the scanners verify —
+and the rest of the tree (experiments rendering figures, tools) is out
+of scope: the rule only fires under an ``engine``, ``cluster`` or
+``telemetry`` path segment.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from ..core import Finding, LintContext
+from ..registry import register
+
+SCOPED_DIRS = frozenset({"engine", "cluster", "telemetry"})
+"""Path segments whose files persist durable artifacts."""
+
+WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The write-ish mode string an ``open()`` call passes, if any."""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str) \
+            and _WRITE_MODE_CHARS & set(mode.value):
+        return mode.value
+    return None
+
+
+@register
+class RawArtifactWrite:
+    """DUR001: raw write-mode I/O on a persistent-artifact module."""
+
+    code = "DUR001"
+    name = "raw-artifact-write"
+    description = ("write-mode open()/write_text()/write_bytes() in "
+                   "engine/cluster/telemetry; route persistent "
+                   "artifacts through repro.durability "
+                   "(atomic_replace / DurableFile)")
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        """Yield a finding per raw write on a scoped module."""
+        if not SCOPED_DIRS & set(Path(ctx.path).parts):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _write_mode(node)
+                if mode is not None:
+                    yield ctx.finding(
+                        self.code,
+                        f"open(..., {mode!r}) writes a persistent "
+                        "artifact without atomicity or fsync; use "
+                        "repro.durability.atomic_replace or "
+                        "DurableFile",
+                        node)
+            elif isinstance(func, ast.Attribute) \
+                    and func.attr in WRITE_METHODS:
+                yield ctx.finding(
+                    self.code,
+                    f".{func.attr}() is not atomic and never fsyncs; "
+                    "use repro.durability.atomic_replace",
+                    node)

@@ -1,0 +1,17 @@
+"""Raw write-mode I/O on a persistent artifact: DUR001 fires."""
+
+from pathlib import Path
+
+
+def journal(path, lines):
+    with open(path, "w", encoding="utf-8") as fh:  # torn on crash
+        fh.writelines(lines)
+
+
+def journal_kw(path, lines):
+    with open(path, encoding="utf-8", mode="a") as fh:  # no fsync
+        fh.writelines(lines)
+
+
+def export(path, text):
+    Path(path).write_text(text, encoding="utf-8")  # not atomic

@@ -1,0 +1,22 @@
+"""Durable-seam I/O and read-mode opens: DUR001 stays silent."""
+
+from repro.durability import DurableFile, append_line, atomic_replace
+
+
+def journal(path, lines):
+    with DurableFile(path, create=True) as journal_file:
+        for line in lines:
+            journal_file.append(line)
+
+
+def export(path, text):
+    atomic_replace(path, text)
+
+
+def append(path, line):
+    append_line(path, line)
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:  # reads are fine
+        return fh.read()

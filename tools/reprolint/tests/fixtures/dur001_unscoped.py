@@ -1,0 +1,17 @@
+"""Raw writes outside engine/cluster/telemetry: out of DUR001 scope.
+
+Experiments rendering figures and ad-hoc tooling may write plain
+files; only the modules that persist *durable* artifacts are held to
+the durability seam.
+"""
+
+from pathlib import Path
+
+
+def render(path, text):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def render_bytes(path, data):
+    Path(path).write_bytes(data)
