@@ -1,0 +1,52 @@
+"""Lint-runtime gate: the static pass must stay cheap enough to run
+on every push.
+
+Two budgets, measured over the real ``src/`` tree with the real rule
+pack (file-scope extraction + the PAR0xx project graph):
+
+* **cold** — empty summary cache, parallel extraction: < 10 s;
+* **warm** — second run against the same cache: < 2 s.
+
+A warm run must also be a *full* cache hit (every summary served from
+disk, zero re-parses) and report byte-identical findings — a cache
+that is fast because it silently recomputes, or silently diverges, is
+worse than no cache.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from reprolint import run_lint  # noqa: E402
+
+COLD_BUDGET_S = 10.0
+WARM_BUDGET_S = 2.0
+
+
+def test_lint_runtime_budgets(tmp_path):
+    cache = tmp_path / "reprolint-cache"
+
+    start = time.perf_counter()
+    cold = run_lint([SRC], cache_dir=cache)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_lint([SRC], cache_dir=cache)
+    warm_s = time.perf_counter() - start
+
+    assert cold_s < COLD_BUDGET_S, \
+        f"cold lint took {cold_s:.2f}s (budget {COLD_BUDGET_S}s)"
+    assert warm_s < WARM_BUDGET_S, \
+        f"warm lint took {warm_s:.2f}s (budget {WARM_BUDGET_S}s)"
+
+    assert cold.stats["cache_misses"] == cold.stats["files"]
+    assert warm.stats["cache_hits"] == warm.stats["files"]
+    assert warm.stats["cache_misses"] == 0
+    assert warm.findings == cold.findings

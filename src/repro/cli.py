@@ -21,7 +21,9 @@ Commands
                            telemetry exports for corruption; ``--repair``
                            salvages the valid records and quarantines
                            the damaged ones; nonzero exit on damage
-``lint [paths...]``        run the reprolint static analyser (repo checkouts)
+``lint [paths...]``        run the reprolint static analyser (repo
+                           checkouts; ``--json`` / ``--sarif`` /
+                           ``--changed-only``; exit codes match fsck)
 ``list``                   available experiment names
 """
 
@@ -153,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint (default: src/)")
     lint.add_argument("--json", action="store_true", dest="as_json",
                       help="emit findings as JSON")
+    lint.add_argument("--sarif", action="store_true", dest="as_sarif",
+                      help="emit findings as SARIF 2.1.0")
+    lint.add_argument("--changed-only", action="store_true",
+                      help="report findings only for files changed vs "
+                           "git HEAD")
 
     sub.add_parser("list", help="list experiment names")
     return parser
@@ -497,7 +504,8 @@ def _cmd_fsck(paths: list[str], repair: bool, as_json: bool) -> int:
     return exit_code
 
 
-def _cmd_lint(paths: list[str], as_json: bool) -> int:
+def _cmd_lint(paths: list[str], as_json: bool, as_sarif: bool = False,
+              changed_only: bool = False) -> int:
     # The linter lives in tools/ (it is repo tooling, not part of the
     # installed package), so `repro lint` only works from a checkout:
     # walk up from this file until a tools/reprolint directory appears.
@@ -517,6 +525,12 @@ def _cmd_lint(paths: list[str], as_json: bool) -> int:
     argv = list(paths) or [str(parent / "src")]
     if as_json:
         argv += ["--format", "json"]
+    elif as_sarif:
+        argv += ["--format", "sarif"]
+    if changed_only:
+        argv += ["--changed-only"]
+    # Exit codes already share the fsck contract:
+    # 0 clean / 1 findings / 2 fatal.
     return reprolint_main(argv)
 
 
@@ -545,7 +559,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "fsck":
         return _cmd_fsck(args.paths, args.repair, args.as_json)
     if args.command == "lint":
-        return _cmd_lint(args.paths, args.as_json)
+        return _cmd_lint(args.paths, args.as_json, args.as_sarif,
+                         args.changed_only)
     if args.command == "list":
         print("fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 "
               "table1 ablations extensions chaos")

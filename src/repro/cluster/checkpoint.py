@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any
 
 from ..core.ask_fsk import AskFskConfig
 from ..durability.integrity import digest as _digest
 from ..durability.io import FsBackend, atomic_replace
 from ..network.fdm import ChannelPlan, FdmAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..node.access_point import MmxAccessPoint
 
 __all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointError", "ApCheckpoint"]
 
@@ -171,7 +175,8 @@ class ApCheckpoint:
 
     # --- restore ----------------------------------------------------------
 
-    def restore(self, hardware=None, antenna=None, codec=None):
+    def restore(self, hardware: Any = None, antenna: Any = None,
+                codec: Any = None) -> MmxAccessPoint:
         """Rebuild an AP with exactly this control-plane state.
 
         The returned :class:`MmxAccessPoint` reproduces the captured

@@ -30,15 +30,21 @@ schedule.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from ..durability.io import FsBackend
+from ..faults.injector import FaultSchedule
 from ..network.fdm import SpectrumExhausted
 from ..node.access_point import MmxAccessPoint
+from ..sim.environment import Room
+from ..sim.geometry import Point
 from ..telemetry import NullRecorder, TelemetryRecorder
+from ..units import FloatArray
 from .checkpoint import ApCheckpoint, CheckpointError
 from .heartbeat import HeartbeatMonitor
 
@@ -58,7 +64,8 @@ class ApMember:
 class Cluster:
     """A set of APs sharing responsibility for one node population."""
 
-    def __init__(self, aps, heartbeat: HeartbeatMonitor | None = None,
+    def __init__(self, aps: Sequence[MmxAccessPoint],
+                 heartbeat: HeartbeatMonitor | None = None,
                  telemetry: TelemetryRecorder | None = None,
                  checkpoint_dir: str | Path | None = None,
                  fs: FsBackend | None = None):
@@ -81,7 +88,7 @@ class Cluster:
         window).  The driver stepping the cluster owns the clock."""
         self._preferences: dict[int, tuple[int, ...]] = {}
         self._rates: dict[int, float] = {}
-        self._ap_outage_spans: dict[int, object] = {}
+        self._ap_outage_spans: dict[int, Any] = {}
         self.checkpoint_dir = (None if checkpoint_dir is None
                                else Path(checkpoint_dir))
         """When set, :meth:`checkpoint_all` also persists every capture
@@ -121,7 +128,7 @@ class Cluster:
         return ap_id is not None and self.members[ap_id].alive
 
     def register_node(self, node_id: int, demanded_rate_bps: float,
-                      preference=None) -> int:
+                      preference: Sequence[int] | None = None) -> int:
         """Admit a node on the best AP in its preference order.
 
         ``preference`` ranks AP ids best-first (defaults to id order);
@@ -131,10 +138,9 @@ class Cluster:
         """
         if node_id in self.serving or node_id in self.orphaned:
             raise ValueError(f"node {node_id} is already in the cluster")
-        if preference is None:
-            preference = sorted(self.members)
-        preference = tuple(int(p) for p in preference)
-        for ap_id in preference:
+        ranking = tuple(int(p) for p in (
+            sorted(self.members) if preference is None else preference))
+        for ap_id in ranking:
             member = self.members.get(ap_id)
             if member is None or not member.alive:
                 continue
@@ -143,7 +149,7 @@ class Cluster:
             except SpectrumExhausted:
                 continue
             self.serving[node_id] = ap_id
-            self._preferences[node_id] = preference
+            self._preferences[node_id] = ranking
             self._rates[node_id] = float(demanded_rate_bps)
             return ap_id
         raise SpectrumExhausted(
@@ -164,7 +170,7 @@ class Cluster:
         atomically; a crash mid-save leaves the previous on-disk
         checkpoint intact, never a torn file.
         """
-        out = {}
+        out: dict[int, ApCheckpoint] = {}
         captured = 0
         for member in self.members.values():
             if member.alive:
@@ -201,7 +207,7 @@ class Cluster:
         for member in self.members.values():
             if member.alive:
                 self.monitor.beat(member.ap_id, now_s)
-        migrations = {}
+        migrations: dict[int, list[int]] = {}
         tel = self.telemetry
         for ap_id in self.monitor.newly_dead(now_s):
             if tel.enabled:
@@ -224,9 +230,9 @@ class Cluster:
         """
         stranded = sorted(n for n, a in self.serving.items()
                           if a == dead_ap_id)
-        migrated = []
+        migrated: list[int] = []
         for node_id in stranded:
-            new_ap = None
+            new_ap: int | None = None
             for ap_id in self._preferences[node_id]:
                 member = self.members.get(ap_id)
                 if member is None or not member.alive:
@@ -319,7 +325,7 @@ class Cluster:
                 tel.end(span)
         return member.ap
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Cluster-level health counters."""
         return {
             "aps": len(self.members),
@@ -334,11 +340,11 @@ class Cluster:
 class FailoverResult:
     """Outcome of one adaptive-vs-frozen failover comparison."""
 
-    times_s: np.ndarray
-    adaptive_success: np.ndarray
+    times_s: FloatArray
+    adaptive_success: FloatArray
     """Per-step mean expected frame survival across nodes (cluster)."""
 
-    static_success: np.ndarray
+    static_success: FloatArray
     """Same, for the frozen single-AP baseline."""
 
     detection_latency_s: float
@@ -378,12 +384,13 @@ class FailoverSimulation:
       (the seed repository's behaviour).
     """
 
-    def __init__(self, room, ap_positions, node_positions,
+    def __init__(self, room: Room, ap_positions: Sequence[Point],
+                 node_positions: Sequence[Point],
                  demanded_rate_bps: float = 1e6,
                  payload_bytes: int = 256,
                  heartbeat: HeartbeatMonitor | None = None,
                  checkpoint_interval_s: float = 1.0,
-                 link_kwargs: dict | None = None,
+                 link_kwargs: dict[str, Any] | None = None,
                  telemetry: TelemetryRecorder | None = None):
         from ..network.network import frame_success_matrix
 
@@ -404,9 +411,10 @@ class FailoverSimulation:
             room, self.ap_positions, self.node_positions,
             payload_bytes=payload_bytes, link_kwargs=link_kwargs)
 
-    def _crash_windows(self, schedule) -> list:
+    def _crash_windows(self, schedule: FaultSchedule
+                       ) -> list[tuple[float, float, int]]:
         """Extract (start_s, end_s, ap_index) from ``ap_crash`` events."""
-        windows = []
+        windows: list[tuple[float, float, int]] = []
         for event in schedule.events:
             if event.kind != "ap_crash":
                 continue
@@ -415,7 +423,8 @@ class FailoverSimulation:
                 windows.append((event.start_s, event.end_s, ap_index))
         return windows
 
-    def run(self, schedule, dt_s: float = 0.1) -> FailoverResult:
+    def run(self, schedule: FaultSchedule,
+            dt_s: float = 0.1) -> FailoverResult:
         """Step both policies through the schedule in lock step."""
         if dt_s <= 0:
             raise ValueError("time step must be positive")

@@ -9,11 +9,14 @@ two-tone FSK discrimination and mirrors what a low-cost baseband would do.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
+
+from ..units import FloatArray
 
 __all__ = ["goertzel_power", "goertzel_block_powers"]
 
 
-def goertzel_power(samples: np.ndarray, frequency_hz: float,
+def goertzel_power(samples: npt.ArrayLike, frequency_hz: float,
                    sample_rate_hz: float) -> float:
     """Power of ``samples`` at a single frequency via the Goertzel DFT.
 
@@ -34,8 +37,9 @@ def goertzel_power(samples: np.ndarray, frequency_hz: float,
     return float(np.abs(bin_value) ** 2) / (n * n)
 
 
-def goertzel_block_powers(samples: np.ndarray, block_size: int,
-                          frequencies_hz, sample_rate_hz: float) -> np.ndarray:
+def goertzel_block_powers(samples: npt.ArrayLike, block_size: int,
+                          frequencies_hz: npt.ArrayLike,
+                          sample_rate_hz: float) -> FloatArray:
     """Per-block tone powers: shape ``(num_blocks, num_frequencies)``.
 
     Splits ``samples`` into consecutive ``block_size`` chunks (one per bit
@@ -52,4 +56,5 @@ def goertzel_block_powers(samples: np.ndarray, block_size: int,
     # (num_freqs, block_size) conjugated tone matrix.
     tones = np.exp(-2j * np.pi * np.outer(freqs, t))
     spectra = blocks @ tones.T  # (num_blocks, num_freqs)
-    return (np.abs(spectra) ** 2) / (block_size * block_size)
+    powers: FloatArray = (np.abs(spectra) ** 2) / (block_size * block_size)
+    return powers

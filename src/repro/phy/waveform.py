@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..rng import ensure_rng
-from ..units import db_to_linear
+from ..units import FloatArray, db_to_linear
 
 __all__ = [
     "Waveform",
@@ -25,15 +26,17 @@ __all__ = [
     "add_awgn",
 ]
 
+ComplexArray = npt.NDArray[np.complex128]
+
 
 @dataclass(frozen=True)
 class Waveform:
     """Complex baseband samples tagged with their sample rate."""
 
-    samples: np.ndarray
+    samples: ComplexArray
     sample_rate_hz: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         samples = np.asarray(self.samples, dtype=np.complex128)
         object.__setattr__(self, "samples", samples)
         if self.sample_rate_hz <= 0:
@@ -49,9 +52,10 @@ class Waveform:
         """Duration of the waveform in seconds."""
         return self.samples.size / self.sample_rate_hz
 
-    def time_axis(self) -> np.ndarray:
+    def time_axis(self) -> FloatArray:
         """Sample timestamps [s], starting at zero."""
-        return np.arange(self.samples.size) / self.sample_rate_hz
+        axis: FloatArray = np.arange(self.samples.size) / self.sample_rate_hz
+        return axis
 
     def power(self) -> float:
         """Mean power of the samples (linear units)."""
@@ -59,7 +63,7 @@ class Waveform:
             return 0.0
         return float(np.mean(np.abs(self.samples) ** 2))
 
-    def scaled(self, amplitude: float) -> Waveform:
+    def scaled(self, amplitude: complex) -> Waveform:
         """Return a copy scaled by a (possibly complex) amplitude factor."""
         return Waveform(self.samples * amplitude, self.sample_rate_hz)
 
@@ -94,7 +98,8 @@ def _samples_per_bit(bit_rate_bps: float, sample_rate_hz: float) -> int:
     return int(round(sps))
 
 
-def ook_waveform(bits, bit_rate_bps: float, sample_rate_hz: float,
+def ook_waveform(bits: npt.ArrayLike, bit_rate_bps: float,
+                 sample_rate_hz: float,
                  frequency_hz: float = 0.0, high: float = 1.0,
                  low: float = 0.0) -> Waveform:
     """Classic on-off-keyed tone: bit 1 -> ``high`` amplitude, 0 -> ``low``.
@@ -103,16 +108,17 @@ def ook_waveform(bits, bit_rate_bps: float, sample_rate_hz: float,
     the paper's "without OTAM" baseline, where modulation happens at the
     node before the antenna.
     """
-    bits = np.asarray(bits, dtype=float).ravel()
+    bit_array = np.asarray(bits, dtype=float).ravel()
     sps = _samples_per_bit(bit_rate_bps, sample_rate_hz)
-    levels = np.where(bits > 0.5, high, low)
+    levels = np.where(bit_array > 0.5, high, low)
     envelope = np.repeat(levels, sps)
     t = np.arange(envelope.size) / sample_rate_hz
     tone = np.exp(1j * 2.0 * np.pi * frequency_hz * t)
     return Waveform(envelope * tone, sample_rate_hz)
 
 
-def two_level_waveform(bits, bit_rate_bps: float, sample_rate_hz: float,
+def two_level_waveform(bits: npt.ArrayLike, bit_rate_bps: float,
+                       sample_rate_hz: float,
                        amp_one: complex, amp_zero: complex,
                        freq_one_hz: float = 0.0,
                        freq_zero_hz: float = 0.0) -> Waveform:
@@ -124,11 +130,12 @@ def two_level_waveform(bits, bit_rate_bps: float, sample_rate_hz: float,
     section 6.3).  Phase is kept continuous across bit boundaries, as a free
     running VCO would.
     """
-    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    bit_array = np.asarray(bits, dtype=np.uint8).ravel()
     sps = _samples_per_bit(bit_rate_bps, sample_rate_hz)
-    n = bits.size * sps
-    amps = np.where(np.repeat(bits, sps) == 1, amp_one, amp_zero)
-    freqs = np.where(np.repeat(bits, sps) == 1, freq_one_hz, freq_zero_hz)
+    n = bit_array.size * sps
+    amps = np.where(np.repeat(bit_array, sps) == 1, amp_one, amp_zero)
+    freqs = np.where(np.repeat(bit_array, sps) == 1, freq_one_hz,
+                     freq_zero_hz)
     # Continuous phase: integrate the instantaneous frequency.
     dt = 1.0 / sample_rate_hz
     phase = 2.0 * np.pi * np.cumsum(freqs) * dt
@@ -139,15 +146,17 @@ def two_level_waveform(bits, bit_rate_bps: float, sample_rate_hz: float,
 
 
 def awgn_noise(n: int, noise_power: float,
-               rng: np.random.Generator | None = None) -> np.ndarray:
+               rng: np.random.Generator | None = None) -> ComplexArray:
     """Complex AWGN samples with total (I+Q) power ``noise_power``."""
     if n < 0:
         raise ValueError("sample count must be non-negative")
     if noise_power < 0:
         raise ValueError("noise power must be non-negative")
-    rng = ensure_rng(rng)
+    generator = ensure_rng(rng)
     sigma = np.sqrt(noise_power / 2.0)
-    return sigma * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    noise: ComplexArray = sigma * (generator.standard_normal(n)
+                                   + 1j * generator.standard_normal(n))
+    return noise
 
 
 def add_awgn(wave: Waveform, snr_db: float,

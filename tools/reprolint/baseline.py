@@ -1,0 +1,101 @@
+"""Finding baselines: park pre-existing debt, gate only what is new.
+
+A baseline is a checked-in JSON file of finding *fingerprints*.  Runs
+with ``--baseline`` subtract fingerprinted findings from the report, so
+a tree with historical violations can still gate hard on regressions.
+
+Fingerprints must survive unrelated edits, so they deliberately avoid
+line numbers and messages: a finding is identified by its rule code,
+its (slash-normalised) path, the *stripped text* of the flagged source
+line, and an occurrence index to disambiguate identical lines in one
+file.  Moving a violation up or down the file keeps its fingerprint;
+changing the offending code invalidates it — which is the point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .core import Finding
+
+__all__ = ["BASELINE_VERSION", "fingerprint_findings", "load_baseline",
+           "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def _norm_path(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def _line_text(source_lines: list[str], line: int) -> str:
+    if 1 <= line <= len(source_lines):
+        return source_lines[line - 1].strip()
+    return ""
+
+
+def fingerprint_findings(findings: Iterable[Finding]
+                         ) -> list[tuple[Finding, str]]:
+    """Pair every finding with its stable fingerprint."""
+    sources: dict[str, list[str]] = {}
+    ordered = sorted(findings,
+                     key=lambda f: (f.path, f.line, f.col, f.code))
+    counters: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, str]] = []
+    for finding in ordered:
+        if finding.path not in sources:
+            try:
+                sources[finding.path] = Path(finding.path).read_text(
+                    encoding="utf-8").splitlines()
+            except OSError:
+                sources[finding.path] = []
+        text = _line_text(sources[finding.path], finding.line)
+        base = (finding.code, _norm_path(finding.path), text)
+        index = counters.get(base, 0)
+        counters[base] = index + 1
+        digest = hashlib.sha256(
+            "\x00".join([*base, str(index)]).encode()).hexdigest()
+        out.append((finding, digest[:20]))
+    return out
+
+
+def write_baseline(path: Path | str,
+                   findings: Iterable[Finding]) -> int:
+    """Persist the current findings as the accepted baseline."""
+    entries = {}
+    for finding, digest in fingerprint_findings(findings):
+        entries[digest] = {"code": finding.code,
+                           "path": _norm_path(finding.path)}
+    payload = {"version": BASELINE_VERSION,
+               "entries": dict(sorted(entries.items()))}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path | str) -> set[str]:
+    """The fingerprints a baseline file accepts.
+
+    Raises ``ValueError`` for malformed or wrong-version files — a
+    corrupt baseline silently accepting nothing (or everything) is the
+    failure mode this guards against.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION \
+            or not isinstance(payload.get("entries"), dict):
+        raise ValueError(f"malformed baseline {path}")
+    return set(payload["entries"])
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   accepted: set[str]) -> list[Finding]:
+    """Findings minus everything the baseline accepts."""
+    return [finding for finding, digest in fingerprint_findings(findings)
+            if digest not in accepted]

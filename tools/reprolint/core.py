@@ -1,25 +1,43 @@
-"""Linter engine: file discovery, parsing, suppression, rule dispatch.
+"""Linter engine: discovery, cached analysis, rule dispatch, suppression.
 
-The engine is deliberately small: it parses each file once, hands the
-shared AST to every selected rule, and filters the findings through the
-suppression comments before reporting.  All rule logic lives in
-:mod:`reprolint.rules`.
+v2 runs in two layers:
+
+* **file scope** — classic rules that see one file at a time.  Their
+  findings depend only on the file's bytes, so the engine computes them
+  inside the per-file analysis workers and caches them with the
+  :class:`reprolint.project.ModuleSummary` under the content hash.
+* **project scope** — rules that traverse the whole-project
+  :class:`reprolint.project.ProjectGraph` (``API001``, the ``PAR0xx``
+  race detectors).  These re-run every invocation; they are cheap once
+  the summaries exist.
+
+The engine also owns the two findings no rule emits: ``PARSE001`` for
+unparsable files and ``SUP001`` for ``# reprolint: disable=`` comments
+that silence nothing.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from .registry import all_rules
 
-__all__ = ["Finding", "LintContext", "Suppressions",
-           "lint_file", "lint_paths", "collect_files"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ModuleSummary, ProjectGraph
+
+__all__ = ["Finding", "LintRun", "SourceUnit", "Suppressions",
+           "collect_files", "file_scope_rules", "lint_file",
+           "lint_paths", "project_scope_rules", "run_lint"]
 
 PARSE_ERROR_CODE = "PARSE001"
+UNUSED_SUPPRESSION_CODE = "SUP001"
+
+#: Engine-emitted codes: always active, never in the registry.
+ENGINE_CODES = frozenset({PARSE_ERROR_CODE, UNUSED_SUPPRESSION_CODE})
 
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
@@ -45,38 +63,79 @@ class Finding:
         return {"code": self.code, "message": self.message,
                 "path": self.path, "line": self.line, "col": self.col}
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (cache deserialisation)."""
+        return cls(code=payload["code"], message=payload["message"],
+                   path=payload["path"], line=payload["line"],
+                   col=payload["col"])
+
+
+@dataclass
+class _Directive:
+    """One ``# reprolint: disable[-file]=...`` comment, with usage."""
+
+    line: int
+    kind: str                   # disable | disable-file
+    codes: frozenset[str]       # upper-cased; may contain "ALL"
+    used: set[str] = field(default_factory=set)
+
 
 class Suppressions:
-    """Per-line and per-file ``# reprolint: disable=...`` directives."""
+    """Per-line and per-file directives, tracking which ones fire.
+
+    ``suppressed`` records usage so the engine can report directives
+    that silence nothing (``SUP001``) — dead suppressions otherwise
+    accumulate and hide future regressions.
+    """
 
     def __init__(self, source: str):
-        self.line_codes: dict[int, set[str]] = {}
-        self.file_codes: set[str] = set()
+        self.directives: list[_Directive] = []
         for lineno, text in enumerate(source.splitlines(), start=1):
             match = _SUPPRESS_RE.search(text)
             if not match:
                 continue
             kind, codes_text = match.groups()
-            codes = {c.strip().upper() for c in codes_text.split(",")}
-            if kind == "disable-file":
-                self.file_codes |= codes
-            else:
-                self.line_codes.setdefault(lineno, set()).update(codes)
+            codes = frozenset(c.strip().upper()
+                              for c in codes_text.split(","))
+            self.directives.append(_Directive(line=lineno, kind=kind,
+                                              codes=codes))
 
     def suppressed(self, finding: Finding) -> bool:
-        """Whether a finding is silenced by a directive."""
-        if {"ALL", finding.code} & self.file_codes:
-            return True
-        at_line = self.line_codes.get(finding.line, set())
-        return bool({"ALL", finding.code} & at_line)
+        """Whether a finding is silenced by a directive (marks usage)."""
+        hit = False
+        for directive in self.directives:
+            if directive.kind == "disable" \
+                    and directive.line != finding.line:
+                continue
+            matched = {"ALL", finding.code} & directive.codes
+            if matched:
+                directive.used.update(matched)
+                hit = True
+        return hit
+
+    def unused(self, executed_codes: frozenset[str]
+               ) -> Iterator[tuple[int, str]]:
+        """(line, code) pairs for directives that silenced nothing.
+
+        Restricted to codes whose rules actually ran this invocation:
+        a ``--select RNG001`` run must not call a DET001 suppression
+        dead.  Blanket ``all`` directives are never reported.
+        """
+        for directive in self.directives:
+            for code in sorted(directive.codes - {"ALL"}):
+                if code in executed_codes and code not in directive.used:
+                    yield directive.line, code
 
 
 @dataclass
-class LintContext:
-    """Everything a rule may need beyond the AST itself."""
+class SourceUnit:
+    """Everything a file-scope rule may need for one file."""
 
     path: Path
     source: str
+    tree: ast.Module
+    summary: "ModuleSummary | None" = None
 
     @property
     def filename(self) -> str:
@@ -90,57 +149,153 @@ class LintContext:
                        col=getattr(node, "col_offset", 0))
 
 
-def _selected_rules(select: Iterable[str] | None,
-                    ignore: Iterable[str] | None) -> list:
+#: Backwards-compatible alias — v1 rules called this ``LintContext``.
+LintContext = SourceUnit
+
+
+def _instantiate(codes: Iterable[str]) -> list:
+    rules = all_rules()
+    return [rules[code]() for code in sorted(codes)]
+
+
+def file_scope_rules() -> list:
+    """Instances of every registered file-scope rule."""
+    return _instantiate(code for code, cls in all_rules().items()
+                        if getattr(cls, "scope", "file") == "file")
+
+
+def project_scope_rules() -> list:
+    """Instances of every registered project-scope rule."""
+    return _instantiate(code for code, cls in all_rules().items()
+                        if getattr(cls, "scope", "file") == "project")
+
+
+def _selected_codes(select: Iterable[str] | None,
+                    ignore: Iterable[str] | None) -> frozenset[str]:
     rules = all_rules()
     chosen = set(rules) if select is None else {c.upper() for c in select}
     chosen -= {c.upper() for c in (ignore or ())}
     unknown = chosen - set(rules)
     if unknown:
         raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
-    return [rules[code]() for code in sorted(chosen)]
-
-
-def lint_file(path: Path | str,
-              select: Iterable[str] | None = None,
-              ignore: Iterable[str] | None = None) -> list[Finding]:
-    """Run the (selected) rule pack over one file."""
-    path = Path(path)
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Finding(code=PARSE_ERROR_CODE,
-                        message=f"could not parse file: {exc.msg}",
-                        path=str(path), line=exc.lineno or 1,
-                        col=exc.offset or 0)]
-    suppressions = Suppressions(source)
-    ctx = LintContext(path=path, source=source)
-    findings: list[Finding] = []
-    for rule in _selected_rules(select, ignore):
-        findings.extend(rule.check(tree, ctx))
-    return sorted((f for f in findings if not suppressions.suppressed(f)),
-                  key=lambda f: (f.line, f.col, f.code))
+    return frozenset(chosen)
 
 
 def collect_files(paths: Iterable[Path | str]) -> Iterator[Path]:
     """Expand files/directories into a deterministic list of .py files."""
+    from .project import CACHE_DIR_NAME
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            yield from sorted(p for p in path.rglob("*.py")
-                              if "__pycache__" not in p.parts)
+            yield from sorted(
+                p for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and CACHE_DIR_NAME not in p.parts)
         elif path.suffix == ".py":
             yield path
         else:
             raise FileNotFoundError(f"not a python file or directory: {path}")
 
 
+@dataclass
+class LintRun:
+    """The full result of one engine invocation."""
+
+    findings: list[Finding]
+    stats: dict[str, Any]
+
+
+def run_lint(paths: Iterable[Path | str],
+             select: Iterable[str] | None = None,
+             ignore: Iterable[str] | None = None,
+             *,
+             jobs: int | None = None,
+             cache_dir: Path | None = None,
+             report_paths: set[str] | None = None) -> LintRun:
+    """Analyze, build the graph, run both rule scopes, filter, sort.
+
+    ``cache_dir=None`` disables the summary cache (the library-call
+    default; the CLI turns it on).  ``report_paths``, when given, limits
+    *reported* findings to those files while still building the project
+    graph over everything — the ``--changed-only`` contract: analysis
+    stays whole-project so interprocedural findings do not flicker with
+    the diff.
+    """
+    from .project import ProjectAnalyzer, ProjectGraph
+
+    selected = _selected_codes(select, ignore)
+    files = list(collect_files(paths))
+    analyzer = ProjectAnalyzer(cache_dir=cache_dir, jobs=jobs)
+    analyzed = analyzer.analyze(files)
+
+    suppressions: dict[str, Suppressions] = {}
+    raw: list[Finding] = []
+    for item in analyzed:
+        display = str(item.path)
+        suppressions[display] = Suppressions(item.source)
+        if item.parse_error is not None:
+            err = item.parse_error
+            raw.append(Finding(
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse file: {err['msg']}",
+                path=display, line=err["line"], col=err["col"]))
+            continue
+        for payload in item.local_findings:
+            finding = Finding.from_dict(payload)
+            if finding.code in selected:
+                raw.append(finding)
+
+    graph = ProjectGraph(analyzed)
+    for rule in project_scope_rules():
+        if rule.code not in selected:
+            continue
+        raw.extend(rule.check_project(graph))
+
+    kept: list[Finding] = []
+    for finding in raw:
+        if finding.code == PARSE_ERROR_CODE:
+            kept.append(finding)     # parse errors are unsuppressable
+            continue
+        supp = suppressions.get(finding.path)
+        if supp is not None and supp.suppressed(finding):
+            continue
+        kept.append(finding)
+
+    for display, supp in suppressions.items():
+        for line, code in supp.unused(selected):
+            kept.append(Finding(
+                code=UNUSED_SUPPRESSION_CODE,
+                message=f"suppression of {code} matches no finding "
+                        f"(remove the stale directive)",
+                path=display, line=line, col=0))
+
+    if report_paths is not None:
+        resolved = {str(Path(p).resolve()) for p in report_paths}
+        kept = [f for f in kept
+                if str(Path(f.path).resolve()) in resolved]
+
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    stats = {
+        "files": len(files),
+        "cache_hits": analyzer.hits,
+        "cache_misses": analyzer.misses,
+        "rules": len(selected),
+        "worker_entries": len(graph.entries),
+        "worker_reachable": len(graph.reachable),
+        "findings": len(kept),
+    }
+    return LintRun(findings=kept, stats=stats)
+
+
+def lint_file(path: Path | str,
+              select: Iterable[str] | None = None,
+              ignore: Iterable[str] | None = None) -> list[Finding]:
+    """Run the (selected) rule pack over one file."""
+    return run_lint([path], select=select, ignore=ignore).findings
+
+
 def lint_paths(paths: Iterable[Path | str],
                select: Iterable[str] | None = None,
                ignore: Iterable[str] | None = None) -> list[Finding]:
     """Lint every .py file reachable from ``paths``."""
-    findings: list[Finding] = []
-    for path in collect_files(paths):
-        findings.extend(lint_file(path, select=select, ignore=ignore))
-    return findings
+    return run_lint(paths, select=select, ignore=ignore).findings

@@ -2,10 +2,12 @@
 
 Importing this package registers every rule; add a new module here (and
 import it below) to extend the pack.  See ``docs/static-analysis.md``
-for the rule-authoring walkthrough.
+for the rule-authoring walkthrough — file-scope rules implement
+``check(unit)``, project-scope rules implement ``check_project(graph)``.
 """
 
-from . import api, determinism, durability, exceptions, rng, units
+from . import (api, determinism, durability, exceptions, parallel, rng,
+               units)
 
-__all__ = ["api", "determinism", "durability", "exceptions", "rng",
-           "units"]
+__all__ = ["api", "determinism", "durability", "exceptions", "parallel",
+           "rng", "units"]

@@ -4,19 +4,27 @@ The ``repro.*`` packages re-export their submodules' public names from
 ``__init__.py``.  Drift creeps in three ways: a façade ``__all__``
 computed dynamically (``dir()`` tricks also leak submodule names), a
 façade exporting a name nothing binds, and a re-import of a name the
-submodule no longer defines (or no longer declares public).  This rule
-cross-checks ``__init__.py`` files against the submodules they import
-from, on disk, at lint time.
+submodule no longer defines (or no longer declares public).
+
+v2 port: this is now a *project-scope* rule.  It reads the façade and
+its submodules from the :class:`reprolint.project.ProjectGraph`
+summaries the engine already extracted (no re-parsing), falling back
+to a one-off disk parse only for submodules outside the lint roots —
+which keeps single-file invocations (``reprolint pkg/__init__.py``)
+behaving exactly as v1 did.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from ..core import Finding, LintContext
+from ..core import Finding
 from ..registry import register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..project import ProjectGraph
 
 
 def _literal_all(node: ast.AST) -> list[str] | None:
@@ -25,18 +33,6 @@ def _literal_all(node: ast.AST) -> list[str] | None:
             isinstance(e, ast.Constant) and isinstance(e.value, str)
             for e in node.elts):
         return [e.value for e in node.elts]
-    return None
-
-
-def _find_all_assignment(tree: ast.Module) -> ast.Assign | ast.AugAssign | None:
-    for node in tree.body:
-        if isinstance(node, ast.Assign) and any(
-                isinstance(t, ast.Name) and t.id == "__all__"
-                for t in node.targets):
-            return node
-        if isinstance(node, ast.AugAssign) and isinstance(
-                node.target, ast.Name) and node.target.id == "__all__":
-            return node
     return None
 
 
@@ -83,28 +79,33 @@ def _resolve_relative(path: Path, level: int, module: str | None
     return None
 
 
-def _module_exports(module_file: Path) -> tuple[set[str] | None, set[str]]:
-    """(static __all__ or None, top-level bindings) of a module file."""
+def _disk_exports(module_file: Path) -> tuple[set[str] | None, set[str]]:
+    """(static __all__ or None, top-level bindings), parsed from disk."""
     try:
         tree = ast.parse(module_file.read_text(encoding="utf-8"),
                          filename=str(module_file))
     except (OSError, SyntaxError):
         return None, set()
     declared: set[str] | None = None
-    assignment = _find_all_assignment(tree)
-    if assignment is not None and isinstance(assignment, ast.Assign):
-        literal = _literal_all(assignment.value)
-        if literal is not None:
-            declared = set(literal)
-    bindings = _top_level_bindings(tree)
-    # Sibling submodules are importable attributes of a package too.
-    if module_file.name == "__init__.py":
-        for sibling in module_file.parent.iterdir():
-            if sibling.suffix == ".py" and sibling.name != "__init__.py":
-                bindings.add(sibling.stem)
-            elif (sibling / "__init__.py").is_file():
-                bindings.add(sibling.name)
-    return declared, bindings
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets):
+            literal = _literal_all(node.value)
+            if literal is not None:
+                declared = set(literal)
+    return declared, _top_level_bindings(tree)
+
+
+def _sibling_submodules(init_file: Path) -> set[str]:
+    """Importable submodule attributes of a package directory."""
+    names: set[str] = set()
+    for sibling in init_file.parent.iterdir():
+        if sibling.suffix == ".py" and sibling.name != "__init__.py":
+            names.add(sibling.stem)
+        elif (sibling / "__init__.py").is_file():
+            names.add(sibling.name)
+    return names
 
 
 @register
@@ -113,75 +114,87 @@ class FacadeExportDrift:
 
     code = "API001"
     name = "facade-export-drift"
+    scope = "project"
     description = ("package __init__ exports a name that does not exist, "
                    "is not public in its submodule, or uses a dynamic "
                    "__all__ that cannot be audited")
 
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
-        """Cross-check an ``__init__.py`` against its submodules."""
-        if ctx.filename != "__init__.py":
-            return
-        assert isinstance(tree, ast.Module)
-        assignment = _find_all_assignment(tree)
-        exported: list[str] = []
-        if assignment is not None:
-            literal = (_literal_all(assignment.value)
-                       if isinstance(assignment, ast.Assign) else None)
-            if literal is None:
-                yield ctx.finding(
-                    self.code,
+    def _target_exports(self, graph: "ProjectGraph", target: Path
+                        ) -> tuple[set[str] | None, set[str]]:
+        """Exports of a submodule: summary when analyzed, disk otherwise."""
+        item = graph.files.get(str(target.resolve()))
+        if item is not None and item.summary is not None:
+            summary = item.summary
+            declared = (set(summary.all_literal)
+                        if summary.all_literal is not None else None)
+            bindings = set(summary.top_bindings)
+        else:
+            declared, bindings = _disk_exports(target)
+        if target.name == "__init__.py":
+            bindings |= _sibling_submodules(target)
+        return declared, bindings
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        """Cross-check every analyzed ``__init__.py`` façade."""
+        for abs_path in sorted(graph.files):
+            item = graph.files[abs_path]
+            summary = item.summary
+            if summary is None or Path(abs_path).name != "__init__.py":
+                continue
+            display = graph.display[abs_path]
+            path = Path(abs_path)
+
+            def finding(message: str, line: int, col: int = 0) -> Finding:
+                return Finding(code=self.code, message=message,
+                               path=display, line=max(line, 1), col=col)
+
+            if summary.all_dynamic:
+                yield finding(
                     "__all__ is not a literal list of strings; dynamic "
                     "exports cannot be audited (and dir()-based lists "
                     "leak submodule names)",
-                    assignment)
-            else:
-                exported = literal
-        bindings = _top_level_bindings(tree)
-        for name in exported:
-            if name not in bindings and name != "__version__":
-                node = assignment if assignment is not None else tree
-                yield ctx.finding(
-                    self.code,
-                    f"__all__ exports {name!r} but nothing in this "
-                    "module binds it",
-                    node)
-        for node in tree.body:
-            if not isinstance(node, ast.ImportFrom) or node.level == 0:
-                continue
-            target = _resolve_relative(ctx.path, node.level, node.module)
-            if target is None:
-                continue
-            if node.module is None:
-                # `from . import sub`: each alias must be a submodule.
-                for alias in node.names:
-                    if _resolve_relative(ctx.path, node.level,
-                                         alias.name) is None:
-                        yield ctx.finding(
-                            self.code,
-                            f"re-export of submodule {alias.name!r} that "
-                            "does not exist",
-                            node)
-                continue
-            declared, sub_bindings = _module_exports(target)
-            for alias in node.names:
-                if alias.name == "*":
+                    summary.all_line, summary.all_col)
+            elif summary.all_literal is not None:
+                for name in summary.all_literal:
+                    if name not in summary.top_bindings \
+                            and name != "__version__":
+                        yield finding(
+                            f"__all__ exports {name!r} but nothing in "
+                            "this module binds it",
+                            summary.all_line, summary.all_col)
+            for imp in summary.relative_imports:
+                target = _resolve_relative(path, imp.level, imp.module)
+                if target is None:
                     continue
-                if declared is not None and alias.name not in declared \
-                        and alias.name not in sub_bindings:
-                    yield ctx.finding(
-                        self.code,
-                        f"{alias.name!r} imported from .{node.module} "
-                        "exists nowhere in that module",
-                        node)
-                elif declared is not None and alias.name not in declared:
-                    yield ctx.finding(
-                        self.code,
-                        f"{alias.name!r} imported from .{node.module} is "
-                        "not in that module's __all__ (private API leak)",
-                        node)
-                elif declared is None and alias.name not in sub_bindings:
-                    yield ctx.finding(
-                        self.code,
-                        f"{alias.name!r} imported from .{node.module} "
-                        "does not exist there",
-                        node)
+                if imp.module is None:
+                    # `from . import sub`: each alias must be a submodule.
+                    for name, _ in imp.names:
+                        if _resolve_relative(path, imp.level,
+                                             name) is None:
+                            yield finding(
+                                f"re-export of submodule {name!r} that "
+                                "does not exist",
+                                imp.line, imp.col)
+                    continue
+                declared, sub_bindings = self._target_exports(graph,
+                                                              target)
+                for name, _ in imp.names:
+                    if name == "*":
+                        continue
+                    if declared is not None and name not in declared \
+                            and name not in sub_bindings:
+                        yield finding(
+                            f"{name!r} imported from .{imp.module} "
+                            "exists nowhere in that module",
+                            imp.line, imp.col)
+                    elif declared is not None and name not in declared:
+                        yield finding(
+                            f"{name!r} imported from .{imp.module} is "
+                            "not in that module's __all__ (private API "
+                            "leak)",
+                            imp.line, imp.col)
+                    elif declared is None and name not in sub_bindings:
+                        yield finding(
+                            f"{name!r} imported from .{imp.module} "
+                            "does not exist there",
+                            imp.line, imp.col)

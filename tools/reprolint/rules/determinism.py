@@ -4,6 +4,10 @@ Simulated time is explicit everywhere in this repo (``now_s`` wanders
 through the transport, breaker and chaos layers as an argument).  A
 ``time.time()`` or stdlib-``random`` call hidden in a sim/experiment
 path makes a trajectory unreproducible in a way no seed can fix.
+
+File-scope: the matching is purely local.  The transitive variant —
+wall clocks reachable *from a worker* through any number of calls — is
+``PAR003`` in :mod:`reprolint.rules.parallel`.
 """
 
 from __future__ import annotations
@@ -11,27 +15,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Finding, LintContext
+from ..astutil import (WALL_CLOCK_DATETIME_ATTRS, WALL_CLOCK_TIME_ATTRS,
+                       attr_chain)
+from ..core import Finding, SourceUnit
 from ..registry import register
-
-WALL_CLOCK_TIME_ATTRS = frozenset({
-    "time", "time_ns", "monotonic", "monotonic_ns",
-    "perf_counter", "perf_counter_ns",
-})
-
-WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
-
-
-def _attr_chain(node: ast.AST) -> list[str]:
-    """``a.b.c`` -> ["a", "b", "c"] (empty list when not a pure chain)."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return parts[::-1]
-    return []
 
 
 @register
@@ -40,16 +27,17 @@ class NonDeterministicSource:
 
     code = "DET001"
     name = "non-deterministic-source"
+    scope = "file"
     description = ("wall-clock (time.time & co.) or stdlib random module "
                    "use; simulations must be replayable from a seed")
 
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+    def check(self, unit: SourceUnit) -> Iterator[Finding]:
         """Yield a finding per wall-clock call or ``random`` import."""
-        for node in ast.walk(tree):
+        for node in ast.walk(unit.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name.split(".")[0] == "random":
-                        yield ctx.finding(
+                        yield unit.finding(
                             self.code,
                             "stdlib random module imported; use a seeded "
                             "np.random.Generator instead",
@@ -57,25 +45,25 @@ class NonDeterministicSource:
             elif isinstance(node, ast.ImportFrom):
                 if node.level == 0 and node.module \
                         and node.module.split(".")[0] == "random":
-                    yield ctx.finding(
+                    yield unit.finding(
                         self.code,
                         "import from stdlib random; use a seeded "
                         "np.random.Generator instead",
                         node)
             elif isinstance(node, ast.Call):
-                chain = _attr_chain(node.func)
+                chain = attr_chain(node.func)
                 if len(chain) < 2:
                     continue
                 root, leaf = chain[0], chain[-1]
                 if root == "time" and leaf in WALL_CLOCK_TIME_ATTRS:
-                    yield ctx.finding(
+                    yield unit.finding(
                         self.code,
                         f"wall-clock call time.{leaf}(); pass simulated "
                         "time (now_s) explicitly",
                         node)
                 elif leaf in WALL_CLOCK_DATETIME_ATTRS \
                         and chain[-2] in ("datetime", "date"):
-                    yield ctx.finding(
+                    yield unit.finding(
                         self.code,
                         f"wall-clock call {'.'.join(chain)}(); pass "
                         "simulated time explicitly",

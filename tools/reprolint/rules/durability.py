@@ -13,7 +13,9 @@ loses it entirely, and the fault-injection harness
 Read-mode opens are fine — torn *reads* are what the scanners verify —
 and the rest of the tree (experiments rendering figures, tools) is out
 of scope: the rule only fires under an ``engine``, ``cluster`` or
-``telemetry`` path segment.
+``telemetry`` path segment.  The dataflow-aware variant — any raw
+write *reachable from a worker*, regardless of path — is ``PAR005``
+in :mod:`reprolint.rules.parallel`.
 """
 
 from __future__ import annotations
@@ -22,29 +24,12 @@ import ast
 from pathlib import Path
 from typing import Iterator
 
-from ..core import Finding, LintContext
+from ..astutil import WRITE_METHODS, write_mode
+from ..core import Finding, SourceUnit
 from ..registry import register
 
 SCOPED_DIRS = frozenset({"engine", "cluster", "telemetry"})
 """Path segments whose files persist durable artifacts."""
-
-WRITE_METHODS = frozenset({"write_text", "write_bytes"})
-
-_WRITE_MODE_CHARS = set("wax+")
-
-
-def _write_mode(call: ast.Call) -> str | None:
-    """The write-ish mode string an ``open()`` call passes, if any."""
-    mode: ast.expr | None = None
-    if len(call.args) >= 2:
-        mode = call.args[1]
-    for keyword in call.keywords:
-        if keyword.arg == "mode":
-            mode = keyword.value
-    if isinstance(mode, ast.Constant) and isinstance(mode.value, str) \
-            and _WRITE_MODE_CHARS & set(mode.value):
-        return mode.value
-    return None
 
 
 @register
@@ -53,23 +38,24 @@ class RawArtifactWrite:
 
     code = "DUR001"
     name = "raw-artifact-write"
+    scope = "file"
     description = ("write-mode open()/write_text()/write_bytes() in "
                    "engine/cluster/telemetry; route persistent "
                    "artifacts through repro.durability "
                    "(atomic_replace / DurableFile)")
 
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+    def check(self, unit: SourceUnit) -> Iterator[Finding]:
         """Yield a finding per raw write on a scoped module."""
-        if not SCOPED_DIRS & set(Path(ctx.path).parts):
+        if not SCOPED_DIRS & set(Path(unit.path).parts):
             return
-        for node in ast.walk(tree):
+        for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
             if isinstance(func, ast.Name) and func.id == "open":
-                mode = _write_mode(node)
+                mode = write_mode(node)
                 if mode is not None:
-                    yield ctx.finding(
+                    yield unit.finding(
                         self.code,
                         f"open(..., {mode!r}) writes a persistent "
                         "artifact without atomicity or fsync; use "
@@ -78,7 +64,7 @@ class RawArtifactWrite:
                         node)
             elif isinstance(func, ast.Attribute) \
                     and func.attr in WRITE_METHODS:
-                yield ctx.finding(
+                yield unit.finding(
                     self.code,
                     f".{func.attr}() is not atomic and never fsyncs; "
                     "use repro.durability.atomic_replace",

@@ -14,7 +14,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Finding, LintContext
+from ..core import Finding, SourceUnit
 from ..registry import register
 
 BROAD_NAMES = frozenset({"Exception", "BaseException"})
@@ -49,17 +49,18 @@ class OverbroadExcept:
 
     code = "EXC001"
     name = "overbroad-except"
+    scope = "file"
     description = ("bare or Exception-wide except clause that would "
                    "swallow injected faults; catch the specific error")
 
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+    def check(self, unit: SourceUnit) -> Iterator[Finding]:
         """Yield a finding per swallowing broad handler."""
-        for node in ast.walk(tree):
+        for node in ast.walk(unit.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
             name = _broad_name(node.type)
             if name and not _reraises(node):
-                yield ctx.finding(
+                yield unit.finding(
                     self.code,
                     f"{name} swallows injected faults silently; catch the "
                     "specific exception (or re-raise)",

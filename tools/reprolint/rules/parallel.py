@@ -1,0 +1,226 @@
+"""PAR0xx: the static race/determinism detector for the parallel engine.
+
+The engine's contract (PRs 5-7) is that a campaign sharded over N
+worker processes is *byte-identical* to the serial run.  The file-scope
+rules (DET001/RNG001/DUR001) police the obvious local violations, but
+a trial function that merely *calls into* a module with hidden state
+sails through them.  These five rules close that hole: they operate on
+the :class:`reprolint.project.ProjectGraph`, compute everything
+reachable from a worker entry point (any callable handed to
+``run_shards`` / executor ``submit`` / ``pool.map`` / ``Campaign``),
+and flag the hazards transitively.
+
+==========  =============================================================
+PAR001      module-global mutable state read or written in
+            worker-reachable code (each process owns a copy; updates
+            diverge from the serial run)
+PAR002      lambdas, nested closures and bound methods handed across
+            the process boundary (they do not pickle — and even on the
+            serial executor they violate the swap-in contract)
+PAR003      wall-clock (``time.time`` & co., ``datetime.now``) or
+            ``os.environ`` reads reachable from workers
+PAR004      unseeded / global-state RNG reachable from workers
+            (``RNG001`` made transitive)
+PAR005      raw write-mode I/O reachable from workers (``DUR001``
+            upgraded from path-scoped to dataflow-aware)
+==========  =============================================================
+
+:mod:`repro.rng` is the sanctioned seed authority (it owns the
+``REPRO_SEED`` environment read and the one legal unseeded
+constructor), so ``rng.py`` is exempt from PAR003-env and PAR004 —
+mirroring the RNG001 authority carve-out.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ..core import Finding
+from ..registry import register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..project import FnKey, ProjectGraph
+
+#: The seed-authority module: exempt from env/RNG reachability rules.
+RNG_AUTHORITY_FILES = frozenset({"rng.py"})
+
+#: Handoff-argument flavors that cannot cross a pickle boundary.
+_UNPICKLABLE_FLAVORS = {
+    "lambda": "a lambda",
+    "bound-method": "a bound method (self.…)",
+    "nested": "a nested function (closure)",
+}
+
+
+def _chain_text(graph: "ProjectGraph", key: "FnKey") -> str:
+    """``entry -> ... -> fn`` display path for diagnostic messages."""
+    return " -> ".join(graph.chain_to_entry(key))
+
+
+def _in_authority(key: "FnKey") -> bool:
+    return Path(key[0]).name in RNG_AUTHORITY_FILES
+
+
+class _ReachabilityRule:
+    """Shared shape: walk worker-reachable functions, match impurities."""
+
+    code = "PAR000"
+    scope = "project"
+    kinds: frozenset[str] = frozenset()
+
+    def message(self, detail: str, kind: str, chain: str) -> str:
+        raise NotImplementedError
+
+    def exempt(self, key: "FnKey", kind: str) -> bool:
+        """Hook: suppress one impurity kind in a sanctioned module."""
+        return False
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        """Yield a finding per matched impurity in worker-reachable code."""
+        for key, fn in graph.worker_reachable():
+            chain = _chain_text(graph, key)
+            display = graph.display[key[0]]
+            for impurity in fn.impurities:
+                if impurity.kind not in self.kinds \
+                        or self.exempt(key, impurity.kind):
+                    continue
+                yield Finding(
+                    code=self.code,
+                    message=self.message(impurity.detail, impurity.kind,
+                                         chain),
+                    path=display, line=impurity.line, col=impurity.col)
+
+
+@register
+class WorkerSharedState(_ReachabilityRule):
+    """PAR001: module-global mutable state touched by worker code."""
+
+    code = "PAR001"
+    name = "worker-shared-state"
+    description = ("module-global mutable state read or written in "
+                   "worker-reachable code; each shard process owns a "
+                   "private copy, so updates diverge from the serial run")
+
+    _VERBS = {"read": "reads", "write": "rebinds",
+              "mutate": "mutates"}
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        """Flag reads of written-somewhere globals, and all writes."""
+        for key, fn in graph.worker_reachable():
+            chain = _chain_text(graph, key)
+            display = graph.display[key[0]]
+            for use in fn.global_uses:
+                if use.access == "read" \
+                        and (key[0], use.name) not in graph.mutable_state:
+                    continue  # never-written constants are safe to read
+                verb = self._VERBS[use.access]
+                yield Finding(
+                    code=self.code,
+                    message=(f"worker-reachable code {verb} module-global "
+                             f"{use.name!r}; shard processes each own a "
+                             "copy, so shared-state updates diverge from "
+                             f"the serial run [via {chain}]"),
+                    path=display, line=use.line, col=use.col)
+
+
+@register
+class UnpicklableHandoff:
+    """PAR002: closures/lambdas/bound methods cross the process boundary."""
+
+    code = "PAR002"
+    name = "unpicklable-handoff"
+    scope = "project"
+    description = ("lambda, nested closure or bound method handed to an "
+                   "executor/Campaign; it cannot cross the pickle "
+                   "boundary a process pool requires")
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        """Flag every handoff whose argument cannot pickle."""
+        for key, handoff, target in graph.handoffs():
+            flavor = handoff.arg_flavor
+            if flavor == "name" and target is not None \
+                    and graph.functions[target].kind in ("nested",
+                                                         "lambda"):
+                flavor = "nested"
+            if flavor == "bound-method" and target is None:
+                # `self.x` where x is not a method of the class: a data
+                # attribute holding some callable — not decidable here.
+                continue
+            noun = _UNPICKLABLE_FLAVORS.get(flavor or "")
+            if noun is None:
+                continue
+            yield Finding(
+                code=self.code,
+                message=(f"{noun} is handed to {handoff.callee}(); it "
+                         "cannot cross the process boundary (pickle) — "
+                         "pass a module-level function (use "
+                         "functools.partial for bound arguments)"),
+                path=graph.display[key[0]], line=handoff.line,
+                col=handoff.col)
+
+
+@register
+class WorkerWallClock(_ReachabilityRule):
+    """PAR003: wall-clock or environment reads reachable from workers."""
+
+    code = "PAR003"
+    name = "worker-wall-clock"
+    kinds = frozenset({"wallclock", "env"})
+    description = ("wall-clock (time.time & co., datetime.now) or "
+                   "os.environ read reachable from a worker entry "
+                   "point; workers must see only simulated time and "
+                   "explicit arguments")
+
+    def exempt(self, key: "FnKey", kind: str) -> bool:
+        """The seed authority may read ``REPRO_SEED`` from the env."""
+        return kind == "env" and _in_authority(key)
+
+    def message(self, detail: str, kind: str, chain: str) -> str:
+        if kind == "env":
+            return (f"worker-reachable environment read {detail}; spawn "
+                    "pools snapshot the parent env, so workers must "
+                    f"receive configuration as arguments [via {chain}]")
+        return (f"worker-reachable wall-clock read {detail}; pass "
+                f"simulated time (now_s) through the trial args "
+                f"[via {chain}]")
+
+
+@register
+class WorkerUnseededRng(_ReachabilityRule):
+    """PAR004: unseeded or global-state RNG reachable from workers."""
+
+    code = "PAR004"
+    name = "worker-unseeded-rng"
+    kinds = frozenset({"rng-global", "rng-unseeded", "stdlib-random"})
+    description = ("unseeded default_rng(), np.random global-state call "
+                   "or stdlib random reachable from a worker entry "
+                   "point; every draw in a shard must derive from the "
+                   "trial seed (RNG001, made transitive)")
+
+    def exempt(self, key: "FnKey", kind: str) -> bool:
+        """``repro.rng`` is the one sanctioned generator factory."""
+        return _in_authority(key)
+
+    def message(self, detail: str, kind: str, chain: str) -> str:
+        return (f"worker-reachable nondeterministic RNG {detail}; every "
+                "draw inside a shard must derive from trial.seed "
+                f"[via {chain}]")
+
+
+@register
+class WorkerRawWrite(_ReachabilityRule):
+    """PAR005: raw write-mode I/O reachable from workers."""
+
+    code = "PAR005"
+    name = "worker-raw-write"
+    kinds = frozenset({"raw-write"})
+    description = ("raw write-mode open()/write_text()/write_bytes() "
+                   "reachable from a worker entry point; concurrent "
+                   "shard writes tear files — route artifacts through "
+                   "repro.durability (DUR001, made dataflow-aware)")
+
+    def message(self, detail: str, kind: str, chain: str) -> str:
+        return (f"worker-reachable raw write {detail}; concurrent shards "
+                "tearing the same file breaks replay — use "
+                f"repro.durability.atomic_replace [via {chain}]")

@@ -6,6 +6,9 @@ global-state call (``np.random.normal`` etc.) breaks replay silently.
 The sanctioned escape hatch is :func:`repro.rng.fresh_rng`, which
 honours the ``REPRO_SEED`` environment variable and is the *only*
 place an unseeded generator may be constructed.
+
+File-scope: the transitive variant — unseeded RNG reachable from a
+worker entry point — is ``PAR004`` in :mod:`reprolint.rules.parallel`.
 """
 
 from __future__ import annotations
@@ -13,37 +16,13 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Finding, LintContext
+from ..astutil import (GLOBAL_STATE_CALLS, is_np_random,
+                       is_unseeded_rng_call)
+from ..core import Finding, SourceUnit
 from ..registry import register
-
-#: Legacy numpy global-state API: any call is a determinism leak.
-GLOBAL_STATE_CALLS = frozenset({
-    "seed", "get_state", "set_state", "rand", "randn", "randint",
-    "random", "random_sample", "ranf", "sample", "choice", "shuffle",
-    "permutation", "normal", "uniform", "standard_normal", "poisson",
-    "exponential", "binomial", "beta", "gamma", "bytes",
-})
 
 #: The one module allowed to construct unseeded generators.
 RNG_AUTHORITY_FILES = frozenset({"rng.py"})
-
-
-def _is_np_random(node: ast.AST) -> bool:
-    """Matches the ``np.random`` / ``numpy.random`` attribute chain."""
-    return (isinstance(node, ast.Attribute) and node.attr == "random"
-            and isinstance(node.value, ast.Name)
-            and node.value.id in ("np", "numpy"))
-
-
-def _unseeded_call(node: ast.Call) -> bool:
-    """Whether a default_rng(...) call provides no usable seed."""
-    if node.keywords:
-        return any(kw.arg == "seed" and isinstance(kw.value, ast.Constant)
-                   and kw.value.value is None for kw in node.keywords)
-    if not node.args:
-        return True
-    first = node.args[0]
-    return isinstance(first, ast.Constant) and first.value is None
 
 
 @register
@@ -52,29 +31,31 @@ class UnseededRandomness:
 
     code = "RNG001"
     name = "unseeded-randomness"
+    scope = "file"
     description = ("np.random global-state call or unseeded "
                    "default_rng(); route through repro.rng.fresh_rng")
 
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+    def check(self, unit: SourceUnit) -> Iterator[Finding]:
         """Yield a finding per determinism-breaking RNG construction."""
-        if ctx.filename in RNG_AUTHORITY_FILES:
+        if unit.filename in RNG_AUTHORITY_FILES:
             return
-        call_funcs = {id(n.func) for n in ast.walk(tree)
+        call_funcs = {id(n.func) for n in ast.walk(unit.tree)
                       if isinstance(n, ast.Call)}
-        for node in ast.walk(tree):
+        for node in ast.walk(unit.tree):
             if isinstance(node, ast.Call):
                 func = node.func
                 if (isinstance(func, ast.Attribute)
-                        and _is_np_random(func.value)):
+                        and is_np_random(func.value)):
                     if func.attr in GLOBAL_STATE_CALLS:
-                        yield ctx.finding(
+                        yield unit.finding(
                             self.code,
                             f"np.random.{func.attr} uses hidden global "
                             "state; draw from an explicitly seeded "
                             "np.random.Generator instead",
                             node)
-                    elif func.attr == "default_rng" and _unseeded_call(node):
-                        yield ctx.finding(
+                    elif func.attr == "default_rng" \
+                            and is_unseeded_rng_call(node):
+                        yield unit.finding(
                             self.code,
                             "unseeded np.random.default_rng(); thread a "
                             "seeded Generator through, or use "
@@ -82,20 +63,20 @@ class UnseededRandomness:
                             node)
                 elif (isinstance(func, ast.Name)
                         and func.id == "default_rng"
-                        and _unseeded_call(node)):
-                    yield ctx.finding(
+                        and is_unseeded_rng_call(node)):
+                    yield unit.finding(
                         self.code,
                         "unseeded default_rng(); thread a seeded Generator "
                         "through, or use repro.rng.fresh_rng()",
                         node)
             elif (isinstance(node, ast.Attribute)
                     and node.attr == "default_rng"
-                    and _is_np_random(node.value)
+                    and is_np_random(node.value)
                     and id(node) not in call_funcs):
                 # A bare reference (e.g. field(default_factory=
                 # np.random.default_rng)) can only ever construct an
                 # unseeded generator.
-                yield ctx.finding(
+                yield unit.finding(
                     self.code,
                     "reference to np.random.default_rng used as a factory "
                     "constructs unseeded generators; use "

@@ -17,7 +17,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Finding, LintContext
+from ..core import Finding, SourceUnit
 from ..registry import register
 
 DB_NAMES = frozenset({"db", "dbm", "dbi"})
@@ -83,12 +83,13 @@ class MixedUnitArithmetic:
 
     code = "UNITS001"
     name = "mixed-unit-arithmetic"
+    scope = "file"
     description = ("Arithmetic mixes *_db/*_dbm identifiers with "
                    "*_watts/*_linear ones without a repro.units converter")
 
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+    def check(self, unit: SourceUnit) -> Iterator[Finding]:
         """Yield a finding for every mixed-unit arithmetic expression."""
-        for node in ast.walk(tree):
+        for node in ast.walk(unit.tree):
             pairs: list[tuple[ast.AST, ast.AST]] = []
             if (isinstance(node, ast.BinOp)
                     and isinstance(node.op, _ARITH_OPS)):
@@ -104,7 +105,7 @@ class MixedUnitArithmetic:
                 right_cls = _operand_classes(right)
                 if (left_cls | right_cls) >= {"db", "linear"} \
                         and left_cls != right_cls:
-                    yield ctx.finding(
+                    yield unit.finding(
                         self.code,
                         "dB-scale and linear-scale values mixed in "
                         "arithmetic; convert through repro.units first",
@@ -147,17 +148,18 @@ class HandRolledConversion:
 
     code = "UNITS002"
     name = "hand-rolled-conversion"
+    scope = "file"
     description = ("10**(x/10) / 10*log10(x) written outside repro.units, "
                    "the single conversion authority")
 
-    def check(self, tree: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+    def check(self, unit: SourceUnit) -> Iterator[Finding]:
         """Yield a finding per hand-rolled dB<->linear conversion."""
-        if ctx.filename in CONVERSION_AUTHORITY_FILES:
+        if unit.filename in CONVERSION_AUTHORITY_FILES:
             return
-        for node in ast.walk(tree):
+        for node in ast.walk(unit.tree):
             if (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow)
                     and _is_ten(node.left)):
-                yield ctx.finding(
+                yield unit.finding(
                     self.code,
                     "hand-rolled dB->linear conversion (10 ** ...); use "
                     "repro.units (db_to_linear / db_to_amplitude / "
@@ -167,13 +169,13 @@ class HandRolledConversion:
                     and isinstance(node.func, ast.Attribute)
                     and node.func.attr == "power"
                     and node.args and _is_ten(node.args[0])):
-                yield ctx.finding(
+                yield unit.finding(
                     self.code,
                     "hand-rolled dB->linear conversion (np.power(10, ...)); "
                     "use repro.units",
                     node)
             elif _is_log10_call(node):
-                yield ctx.finding(
+                yield unit.finding(
                     self.code,
                     "hand-rolled linear->dB conversion (log10); use "
                     "repro.units (linear_to_db / amplitude_to_db / "

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 emitter: findings as a Static Analysis Results file.
+
+SARIF is the interchange format code-review UIs (GitHub code scanning,
+VS Code SARIF viewer) ingest; CI uploads the report as an artifact so
+reviewers see lint findings inline.  The emitter writes the minimal
+conforming subset: one run, one driver, the rule catalogue, and one
+result per finding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .core import ENGINE_CODES, Finding
+from .registry import all_rules
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif"]
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+_ENGINE_DESCRIPTIONS = {
+    "PARSE001": "file could not be parsed as Python",
+    "SUP001": "a # reprolint: disable directive matches no finding",
+}
+
+
+def _rule_catalogue() -> list[dict[str, Any]]:
+    rules = []
+    for code, cls in sorted(all_rules().items()):
+        rules.append({
+            "id": code,
+            "name": getattr(cls, "name", code),
+            "shortDescription": {"text": cls.description},
+        })
+    for code in sorted(ENGINE_CODES):
+        rules.append({
+            "id": code,
+            "name": code.lower(),
+            "shortDescription": {"text": _ENGINE_DESCRIPTIONS[code]},
+        })
+    return rules
+
+
+def to_sarif(findings: Iterable[Finding], version: str) -> dict[str, Any]:
+    """The findings as a SARIF 2.1.0 log object (JSON-ready)."""
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "version": version,
+                    "informationUri":
+                        "https://github.com/mmx-repro/mmx-repro/blob/"
+                        "main/docs/static-analysis.md",
+                    "rules": _rule_catalogue(),
+                },
+            },
+            "results": results,
+        }],
+    }

@@ -1,0 +1,7 @@
+"""Parent side: hands run_trial across the worker boundary."""
+
+from .work import run_trial
+
+
+def launch(executor, shards):
+    return executor.run_shards(run_trial, shards)

@@ -1,0 +1,12 @@
+"""Module-global mutable state shared (incorrectly) across shards."""
+
+CACHE = {}
+TOTALS = []
+
+
+def remember(key, value):
+    CACHE[key] = value
+
+
+def tally(value):
+    TOTALS.append(value)

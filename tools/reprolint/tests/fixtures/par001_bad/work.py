@@ -1,0 +1,13 @@
+"""Worker path: the mutation is two call-hops below the entry."""
+
+from .state import remember, tally
+
+
+def run_trial(trial):
+    return step(trial)
+
+
+def step(trial):
+    remember(trial, 1)
+    tally(trial)
+    return trial

@@ -1,0 +1,5 @@
+from .work import run_trial
+
+
+def launch(executor, shards):
+    return executor.run_shards(run_trial, shards)

@@ -1,0 +1,3 @@
+"""A mutable-literal global that nothing ever writes: safe to read."""
+
+LOOKUP = {"alpha": 1, "beta": 2}

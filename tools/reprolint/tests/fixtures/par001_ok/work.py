@@ -1,0 +1,9 @@
+from .state import LOOKUP
+
+
+def run_trial(trial):
+    return resolve(trial)
+
+
+def resolve(trial):
+    return LOOKUP["alpha"] + trial

@@ -1,0 +1,18 @@
+"""Lambdas, closures and bound methods handed across the pool boundary."""
+
+
+def launch(pool, shards):
+    pool.submit(lambda shard: shard + 1, shards)
+
+    def trial(shard):
+        return shard
+
+    return pool.run_shards(trial, shards)
+
+
+class Driver:
+    def go(self, pool, shards):
+        return pool.run_shards(self.trial, shards)
+
+    def trial(self, shard):
+        return shard

@@ -1,0 +1,22 @@
+"""Picklable handoffs: module-level functions, partials, data attrs."""
+
+import functools
+
+
+def trial(shard, gain_db=0.0):
+    return shard
+
+
+def launch(pool, shards):
+    pool.submit(trial, shards)
+    return pool.run_shards(functools.partial(trial, gain_db=3.0), shards)
+
+
+class Driver:
+    def __init__(self, trial_fn):
+        self.trial_fn = trial_fn
+
+    def go(self, pool, shards):
+        # self.trial_fn is a *data attribute* (whatever the caller
+        # passed), not a bound method: not statically decidable.
+        return pool.run_shards(self.trial_fn, shards)

@@ -1,0 +1,10 @@
+import os
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def flavor():
+    return os.environ.get("MMX_MODE", "dense")

@@ -1,0 +1,9 @@
+from .clock import flavor, stamp
+
+
+def run_trial(trial):
+    return middle(trial)
+
+
+def middle(trial):
+    return (stamp(), flavor(), trial)

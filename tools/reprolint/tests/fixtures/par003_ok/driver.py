@@ -1,0 +1,13 @@
+import time
+
+from .work import run_trial
+
+
+def launch(pool, shards):
+    started = time.monotonic()  # reprolint: disable=DET001
+    result = pool.run_shards(run_shards_arg, shards)
+    return result, time.monotonic() - started  # reprolint: disable=DET001
+
+
+def run_shards_arg(trial):
+    return run_trial(trial, 0.0)

@@ -1,0 +1,6 @@
+def run_trial(trial, now_s):
+    return advance(trial, now_s)
+
+
+def advance(trial, now_s):
+    return trial + now_s

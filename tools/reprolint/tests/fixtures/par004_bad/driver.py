@@ -1,0 +1,5 @@
+from .work import run_trial
+
+
+def launch(pool, shards):
+    return pool.run_shards(run_trial, shards)

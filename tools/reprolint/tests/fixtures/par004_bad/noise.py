@@ -1,0 +1,6 @@
+import numpy as np
+
+
+def thermal(shape):
+    rng = np.random.default_rng()
+    return rng.normal(size=shape)

@@ -1,0 +1,9 @@
+from .noise import thermal
+
+
+def run_trial(trial):
+    return sample(trial)
+
+
+def sample(trial):
+    return thermal((trial, trial))

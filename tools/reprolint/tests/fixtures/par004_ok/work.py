@@ -1,0 +1,10 @@
+import numpy as np
+
+
+def run_trial(trial):
+    rng = np.random.default_rng(trial.seed)
+    return draw(rng)
+
+
+def draw(rng):
+    return rng.normal()

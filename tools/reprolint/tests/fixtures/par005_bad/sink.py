@@ -1,0 +1,3 @@
+def record(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)

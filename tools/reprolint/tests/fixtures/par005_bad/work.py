@@ -1,0 +1,10 @@
+from .sink import record
+
+
+def run_trial(trial):
+    return persist(trial)
+
+
+def persist(trial):
+    record("trial.out", str(trial))
+    return trial

@@ -1,0 +1,8 @@
+from .work import run_trial
+
+
+def launch(pool, shards, report_path):
+    results = pool.run_shards(run_trial, shards)
+    with open(report_path, "w") as handle:
+        handle.write(repr(results))
+    return results

@@ -1,0 +1,2 @@
+def run_trial(trial):
+    return trial * 2
