@@ -30,6 +30,7 @@ Layout
 ``repro.hardware``  behavioural component and chain models
 ``repro.node``      MmxNode / MmxAccessPoint devices
 ``repro.network``   FDM, TMA-based SDM, interference, multi-node sims
+``repro.admission`` million-node spectrum/SDM admission control
 ``repro.baselines`` beam-search baselines and Table 1 platforms
 ``repro.sim``       rooms, blockers, mobility, placements, Monte Carlo
 ``repro.faults``    seeded fault-injection processes and schedules
@@ -41,6 +42,12 @@ Layout
 ``repro.experiments`` one module per paper table/figure
 """
 
+from .admission import (
+    AdmissionController,
+    SdmPacker,
+    SpectrumBook,
+    run_saturation,
+)
 from .antenna import OrthogonalBeamPair, PhasedArray, design_mmx_beams
 from .baselines import (
     ExhaustiveBeamSearch,
@@ -130,6 +137,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessPointHardware",
     "AdaptiveRetransmission",
+    "AdmissionController",
     "ApCheckpoint",
     "AskFskConfig",
     "Blocker",
@@ -186,7 +194,9 @@ __all__ = [
     "RtoEstimator",
     "SerialExecutor",
     "SimClock",
+    "SdmPacker",
     "SnrBreakdown",
+    "SpectrumBook",
     "TelemetryRecorder",
     "TelemetrySnapshot",
     "TimeModulatedArray",
@@ -197,6 +207,7 @@ __all__ = [
     "design_mmx_beams",
     "random_bits",
     "run_campaign",
+    "run_saturation",
     "scenario_injector",
     "trace_paths",
     "two_beam_gains",

@@ -10,6 +10,10 @@ Commands
 ``chaos --ap-crash``       multi-AP failover vs a frozen single AP
 ``chaos ... --json``       same run, but emit the telemetry export (JSONL)
 ``chaos all --jobs N``     the scenario sweep across N worker processes
+``admission saturate``     offered-load saturation study: blocking
+                           probability vs load through the admission
+                           ladder (``--nodes``, ``--load``, ``--jobs``,
+                           ``--out``/``--resume``, ``--json``)
 ``campaign EXPERIMENT``    run a sweep as a sharded, resumable campaign
                            (``--jobs``, ``--shards``, ``--out``,
                            ``--resume``; supervision via
@@ -83,6 +87,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the '--scenario all' "
                             "sweep (routed through repro.engine; other "
                             "runs are single scenarios and stay serial)")
+
+    adm = sub.add_parser(
+        "admission",
+        help="spectrum/SDM admission-control studies")
+    adm_sub = adm.add_subparsers(dest="admission_command", required=True)
+    sat = adm_sub.add_parser(
+        "saturate",
+        help="blocking probability vs offered load through the "
+             "admission ladder (a repro.engine campaign)")
+    sat.add_argument("--nodes", type=int, default=600,
+                     help="Poisson arrivals simulated per trial")
+    sat.add_argument("--load", type=float, action="append", default=None,
+                     metavar="L",
+                     help="offered-load point (repeatable; default: "
+                          "the stock sweep)")
+    sat.add_argument("--replicates", type=int, default=4,
+                     help="independent trials per load point")
+    sat.add_argument("--seed", type=int, default=0,
+                     help="campaign master seed")
+    sat.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (1 = in-process serial; "
+                          ">1 runs supervised)")
+    sat.add_argument("--shards", type=int, default=None,
+                     help="shard count (default: --jobs); results "
+                          "never depend on it")
+    sat.add_argument("--out", default=None,
+                     help="JSONL result-store path: completed shards "
+                          "are journaled here, crash-safely")
+    sat.add_argument("--resume", action="store_true",
+                     help="allow --out to already exist and resume "
+                          "the campaign it holds")
+    sat.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the saturation curve as JSON rows")
 
     camp = sub.add_parser(
         "campaign",
@@ -326,6 +363,72 @@ def _cmd_chaos(scenario: str, seed: int, duration: float,
     return 0
 
 
+def _cmd_admission_saturate(nodes: int, loads: list[float] | None,
+                            replicates: int, seed: int, jobs: int,
+                            shards: int | None, out: str | None,
+                            resume: bool, as_json: bool) -> int:
+    from .engine import (EngineError, SerialExecutor, StoreError,
+                         SupervisedPool)
+
+    if nodes < 1:
+        print("repro admission saturate: --nodes must be at least 1",
+              file=sys.stderr)
+        return 2
+    if replicates < 1:
+        print("repro admission saturate: --replicates must be at "
+              "least 1", file=sys.stderr)
+        return 2
+    if jobs < 1:
+        print("repro admission saturate: --jobs must be at least 1",
+              file=sys.stderr)
+        return 2
+    if shards is not None and shards < 1:
+        print("repro admission saturate: --shards must be at least 1",
+              file=sys.stderr)
+        return 2
+    if loads is not None and any(lo <= 0 for lo in loads):
+        print("repro admission saturate: --load points must be "
+              "positive", file=sys.stderr)
+        return 2
+    if resume and out is None:
+        print("repro admission saturate: --resume needs --out (the "
+              "store to resume from)", file=sys.stderr)
+        return 2
+    if out is not None and Path(out).exists() and not resume:
+        print(f"repro admission saturate: {out} already exists; pass "
+              "--resume to continue that campaign, or choose a fresh "
+              "path", file=sys.stderr)
+        return 2
+
+    from .admission import default_config, render, run_saturation
+    from .admission.saturation import DEFAULT_LOADS
+
+    config = default_config(
+        loads=tuple(loads) if loads is not None else DEFAULT_LOADS,
+        replicates=replicates, arrivals=nodes)
+    # One supervised pool covers both the ISSUE's resumable-CLI ask and
+    # worker-crash tolerance; serial runs stay in-process.
+    executor: SerialExecutor | SupervisedPool
+    executor = SupervisedPool(jobs=jobs) if jobs > 1 else SerialExecutor()
+    num_shards = shards if shards is not None else jobs
+    try:
+        result = run_saturation(config, master_seed=seed,
+                                executor=executor,
+                                num_shards=num_shards, store=out)
+    except (EngineError, StoreError) as exc:
+        print(_campaign_diagnostic(exc, executor, out), file=sys.stderr)
+        return 2
+    if as_json:
+        import json
+
+        print(json.dumps(result.curve(), indent=2))
+    else:
+        print(render(result))
+    if out is not None:
+        print(f"\ncampaign store: {out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_campaign(experiment: str, trials: int | None, seed: int,
                   jobs: int, shards: int | None, out: str | None,
                   resume: bool, duration: float,
@@ -548,6 +651,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "chaos":
         return _cmd_chaos(args.scenario, args.seed, args.duration,
                           args.ap_crash, args.as_json, args.jobs)
+    if args.command == "admission":
+        return _cmd_admission_saturate(args.nodes, args.load,
+                                       args.replicates, args.seed,
+                                       args.jobs, args.shards, args.out,
+                                       args.resume, args.as_json)
     if args.command == "campaign":
         return _cmd_campaign(args.experiment, args.trials, args.seed,
                              args.jobs, args.shards, args.out,

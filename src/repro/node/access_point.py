@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+from typing import TYPE_CHECKING
+
 from ..antenna.element import DipoleElement
 from ..core.ask_fsk import AskFskConfig
 from ..core.demodulator import DemodResult, JointDemodulator
@@ -19,6 +21,9 @@ from ..core.packet import Packet, PacketCodec, PacketError
 from ..hardware.chains import AccessPointHardware
 from ..network.fdm import ChannelPlan, FdmAllocator
 from ..phy.waveform import Waveform
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from ..admission.controller import AdmissionController
 
 __all__ = ["NodeRegistration", "MmxAccessPoint"]
 
@@ -39,10 +44,21 @@ class MmxAccessPoint:
                  hardware: AccessPointHardware | None = None,
                  antenna: DipoleElement | None = None,
                  allocator: FdmAllocator | None = None,
-                 codec: PacketCodec | None = None):
+                 codec: PacketCodec | None = None,
+                 admission: AdmissionController | None = None):
         self.hardware = hardware or AccessPointHardware()
         self.antenna = antenna or DipoleElement()
-        self.allocator = allocator or FdmAllocator()
+        self.admission = admission
+        """Optional :class:`repro.admission.AdmissionController`.  When
+        set, registration walks the full admission ladder (FDM first,
+        SDM escalation, reject) and interference handling runs the
+        controller's batched re-admission pass; the controller's
+        allocator becomes :attr:`allocator` so cluster checkpoints and
+        failover see one consistent spectrum map."""
+        if admission is not None:
+            self.allocator = admission.allocator
+        else:
+            self.allocator = allocator or FdmAllocator()
         self.codec = codec or PacketCodec()
         self._registrations: dict[int, NodeRegistration] = {}
         self._demodulators: dict[int, JointDemodulator] = {}
@@ -52,15 +68,36 @@ class MmxAccessPoint:
     # --- initialization phase --------------------------------------------------
 
     def register_node(self, node_id: int, demanded_rate_bps: float,
-                      config: AskFskConfig | None = None) -> NodeRegistration:
+                      config: AskFskConfig | None = None,
+                      bearing_rad: float | None = None) -> NodeRegistration:
         """Admit a node: allocate a channel sized to its rate demand.
 
         This is the once-only initialization of section 7(a), performed
         over the WiFi/Bluetooth module in hardware.
+
+        With an admission controller attached, the request walks the
+        full ladder: FDM first, then — given the node's arrival
+        ``bearing_rad`` — SDM spatial reuse (the node lands on a shared
+        slice plus a TMA harmonic).  A fully blocked ladder raises
+        :class:`~repro.network.fdm.SpectrumExhausted`, the same signal
+        a bare allocator sends, so cluster failover keeps walking its
+        AP preference order unchanged.
         """
         if node_id in self._registrations:
             raise ValueError(f"node {node_id} is already registered")
-        channel = self.allocator.allocate(node_id, demanded_rate_bps)
+        if self.admission is not None:
+            from ..network.fdm import SpectrumExhausted
+
+            decision = self.admission.admit(node_id, demanded_rate_bps,
+                                            bearing_rad=bearing_rad)
+            if not decision.admitted:
+                raise SpectrumExhausted(
+                    f"admission ladder blocked node {node_id}")
+            assert decision.plan is not None
+            channel = decision.plan
+        else:
+            decision = None
+            channel = self.allocator.allocate(node_id, demanded_rate_bps)
         if config is None:
             config = AskFskConfig(
                 bit_rate_bps=demanded_rate_bps,
@@ -69,6 +106,8 @@ class MmxAccessPoint:
                                         config=config)
         self._registrations[node_id] = registration
         self._demodulators[node_id] = JointDemodulator(config)
+        if decision is not None and decision.sdm is not None:
+            self.assign_tma_slot(node_id, decision.sdm.harmonic_index)
         return registration
 
     def adopt_registration(self, node_id: int, channel: ChannelPlan,
@@ -102,7 +141,10 @@ class MmxAccessPoint:
             raise KeyError(f"node {node_id} is not registered")
         self._demodulators.pop(node_id, None)
         self._tma_assignments.pop(node_id, None)
-        self.allocator.release(node_id)
+        if self.admission is not None and node_id in self.admission:
+            self.admission.release(node_id)
+        else:
+            self.allocator.release(node_id)
 
     def registration(self, node_id: int) -> NodeRegistration:
         """Look up a node's registration."""
@@ -126,12 +168,50 @@ class MmxAccessPoint:
         returned so the caller (typically a
         :class:`repro.resilience.LinkSupervisor`) can decide to
         :meth:`reallocate_node` them.
+
+        With an admission controller attached, this is the **batched**
+        path: one :meth:`AdmissionController.mark_interference` pass
+        frees every victim's spectrum before re-admitting any of them
+        (FDM move, SDM spill, or eviction), and the registrations are
+        updated to the outcome.  The victim IDs are still returned.
         """
+        if self.admission is not None:
+            report = self.admission.mark_interference(low_hz, high_hz)
+            for node_id in report.moved:
+                self._adopt_decision(node_id)
+            for node_id in report.spilled_to_sdm:
+                self._adopt_decision(node_id)
+            for node_id in report.evicted:
+                self._registrations.pop(node_id, None)
+                self._demodulators.pop(node_id, None)
+                self._tma_assignments.pop(node_id, None)
+            return [node_id for node_id in report.victims
+                    if node_id in self._registrations
+                    or node_id in report.evicted]
         self.allocator.block_range(low_hz, high_hz)
         probe = ChannelPlan(node_id=-1, center_hz=(low_hz + high_hz) / 2.0,
                             bandwidth_hz=high_hz - low_hz)
-        return sorted(reg.node_id for reg in self._registrations.values()
-                      if reg.channel.overlaps(probe))
+        # Indexed range query instead of a scan over every
+        # registration; same strict-overlap predicate, same result.
+        return sorted(plan.node_id for plan
+                      in self.allocator.plans_overlapping(probe.low_hz,
+                                                          probe.high_hz)
+                      if plan.node_id in self._registrations)
+
+    def _adopt_decision(self, node_id: int) -> None:
+        """Refresh one registration from the controller's decision."""
+        assert self.admission is not None
+        reg = self._registrations.get(node_id)
+        if reg is None:
+            return
+        decision = self.admission.decision_for(node_id)
+        assert decision.plan is not None
+        self._registrations[node_id] = NodeRegistration(
+            node_id=node_id, channel=decision.plan, config=reg.config)
+        if decision.sdm is not None:
+            self._tma_assignments[node_id] = decision.sdm.harmonic_index
+        else:
+            self._tma_assignments.pop(node_id, None)
 
     def reallocate_node(self, node_id: int) -> NodeRegistration | None:
         """Move a node's FDM channel away from blocked spectrum.
@@ -149,6 +229,13 @@ class MmxAccessPoint:
         from ..network.fdm import SpectrumExhausted
 
         reg = self.registration(node_id)
+        if self.admission is not None:
+            decision = self.admission.reallocate(node_id)
+            if decision is None:
+                self.reallocation_failures += 1
+                return None
+            self._adopt_decision(node_id)
+            return self._registrations[node_id]
         try:
             channel = self.allocator.reallocate(node_id)
         except SpectrumExhausted:

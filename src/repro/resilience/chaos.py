@@ -183,11 +183,26 @@ class ChaosSimulation:
         times = np.arange(steps) * self.time_step_s
 
         # The adaptive policy can leave the interfered channel; the
-        # static one is stuck on it forever.
+        # static one is stuck on it forever.  The spectrum move runs
+        # through a real admission controller: the victim holds an FDM
+        # plan, and rung 5 marks its channel interfered — the batched
+        # re-admission pass then lands it on clean spectrum (the fresh
+        # band guarantees an FDM move, so the schedule-visible outcome
+        # — one successful move, then refusals — is unchanged).
+        from ..admission.controller import AdmissionController
+
+        admission = AdmissionController()
+        victim_id = 0
+        admission.admit(victim_id, rate_bps=1e6)
         adaptive_channel = [HOME_CHANNEL]
 
         def reallocate() -> bool:
             if adaptive_channel[0] != HOME_CHANNEL:
+                return False
+            plan = admission.decision_for(victim_id).plan
+            assert plan is not None
+            report = admission.mark_interference(plan.low_hz, plan.high_hz)
+            if victim_id not in report.moved:
                 return False
             adaptive_channel[0] = HOME_CHANNEL + 1
             return True

@@ -366,3 +366,62 @@ class TestCommands:
         assert main(["fsck", str(store),
                      str(tmp_path / "nope.jsonl")]) == 2
         assert len(capsys.readouterr().out.splitlines()) == 2
+
+
+class TestAdmissionSaturate:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["admission", "saturate"])
+        assert args.admission_command == "saturate"
+        assert args.nodes == 600
+        assert args.load is None
+        assert args.replicates == 4
+        assert args.jobs == 1
+        assert not args.as_json
+
+    def test_runs_and_prints_the_curve(self, capsys):
+        assert main(["admission", "saturate", "--nodes", "60",
+                     "--replicates", "1", "--load", "0.5",
+                     "--load", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "P(block)" in out
+        assert "0.50" in out and "2.00" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["admission", "saturate", "--nodes", "50",
+                     "--replicates", "1", "--load", "1.0",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["offered_load"] == 1.0
+        assert set(rows[0]) >= {"blocking_probability", "fdm_share",
+                                "sdm_share", "mean_occupancy"}
+
+    def test_bad_flags_fail(self, capsys):
+        assert main(["admission", "saturate", "--nodes", "0"]) == 2
+        assert "--nodes" in capsys.readouterr().err
+        assert main(["admission", "saturate", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["admission", "saturate", "--load", "-1"]) == 2
+        assert "positive" in capsys.readouterr().err
+        assert main(["admission", "saturate", "--resume"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_existing_store_needs_resume(self, tmp_path, capsys):
+        store = tmp_path / "sat.jsonl"
+        store.write_text("")
+        assert main(["admission", "saturate", "--out", str(store)]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_store_and_resume_roundtrip(self, tmp_path, capsys):
+        store = tmp_path / "sat.jsonl"
+        argv = ["admission", "saturate", "--nodes", "40",
+                "--replicates", "1", "--load", "1.0", "--json",
+                "--out", str(store)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # Resuming a completed campaign replays the journal: identical
+        # curve, no recomputation surprises.
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first

@@ -186,3 +186,110 @@ class TestExhaustionAndDegradation:
         assert ap.reallocate_node(0) is None
         assert ap.reallocate_node(0) is None
         assert ap.reallocation_failures == 2
+
+
+class TestFirstFitRegression:
+    """Pins the seed scan's placement order, bit for bit.
+
+    The allocator now runs on :class:`repro.admission.SpectrumBook`;
+    these exact centers are the contract that refactor must never
+    shift.  Derived from the seed algorithm by hand: cursor walks from
+    the band floor, each channel lands at ``cursor + width/2`` and
+    advances the cursor by ``width * (1 + guard)``.
+    """
+
+    def test_sequential_fill_centers(self):
+        alloc = FdmAllocator(band_low_hz=0.0, band_high_hz=1000.0,
+                             bandwidth_per_bps=1.0, guard_fraction=0.25,
+                             min_channel_hz=1e-9)
+        centers = [alloc.allocate(i, 100.0).center_hz for i in range(4)]
+        # width 100, guard step 25: starts at 0, 125, 250, 375.
+        assert centers == [50.0, 175.0, 300.0, 425.0]
+
+    def test_gap_reuse_prefers_lowest_fit(self):
+        alloc = FdmAllocator(band_low_hz=0.0, band_high_hz=1000.0,
+                             bandwidth_per_bps=1.0, guard_fraction=0.0,
+                             min_channel_hz=1e-9)
+        for i in range(5):
+            alloc.allocate(i, 100.0)
+        alloc.release(1)   # hole at [100, 200)
+        alloc.release(3)   # hole at [300, 400)
+        # 60 fits the first hole; the next 60 needs the cursor past the
+        # first hole's tail occupancy, landing in the second hole.
+        assert alloc.allocate(10, 60.0).low_hz == 100.0
+        assert alloc.allocate(11, 60.0).low_hz == 300.0
+        # 90 skips the 40-wide residue of hole one.
+        assert alloc.allocate(12, 90.0).low_hz == 500.0
+
+    def test_guard_respected_around_blocks(self):
+        alloc = FdmAllocator(band_low_hz=0.0, band_high_hz=1000.0,
+                             bandwidth_per_bps=1.0, guard_fraction=0.5,
+                             min_channel_hz=1e-9)
+        alloc.block_range(0.0, 100.0)
+        plan = alloc.allocate(0, 100.0)
+        # Seed scan: cursor = high + width * guard = 100 + 50.
+        assert plan.low_hz == 150.0
+
+
+class TestReallocateDegradation:
+    """Graceful-``None`` moves and the SDM-spill telemetry contract."""
+
+    def test_allocator_reallocate_restores_on_exhaustion(self):
+        alloc = FdmAllocator(band_low_hz=0.0, band_high_hz=100.0,
+                             bandwidth_per_bps=1.0, guard_fraction=0.0,
+                             min_channel_hz=1e-9)
+        plan = alloc.allocate(0, 80.0)
+        alloc.block_range(0.0, 100.0)
+        with pytest.raises(SpectrumExhausted):
+            alloc.reallocate(0)
+        # The failed move left the old plan exactly in place.
+        assert alloc.plan_for(0) == plan
+        assert alloc.allocated_bandwidth_hz == pytest.approx(80.0)
+
+    def test_controller_reallocate_returns_none_under_blocked_band(self):
+        from repro.admission import AdmissionController
+
+        alloc = FdmAllocator(band_low_hz=0.0, band_high_hz=100.0,
+                             bandwidth_per_bps=1.0, guard_fraction=0.0,
+                             min_channel_hz=1e-9)
+        ctrl = AdmissionController(allocator=alloc)
+        ctrl.admit(0, 50.0)  # no bearing: the SDM rung cannot catch it
+        alloc.block_range(0.0, 100.0)
+        old = ctrl.decision_for(0)
+        assert ctrl.reallocate(0) is None
+        assert ctrl.decision_for(0) == old  # still on the old channel
+
+    def test_reallocate_spills_to_sdm_and_counts_it(self):
+        from repro.admission import AdmissionController
+        from repro.telemetry import Recorder
+
+        tel = Recorder()
+        alloc = FdmAllocator(band_low_hz=0.0, band_high_hz=100.0,
+                             bandwidth_per_bps=1.0, guard_fraction=0.0,
+                             min_channel_hz=1e-9)
+        ctrl = AdmissionController(allocator=alloc, sdm_channels=2,
+                                   telemetry=tel)
+        ctrl.admit(0, 50.0, bearing_rad=0.3)
+        alloc.block_range(0.0, 100.0)
+        decision = ctrl.reallocate(0)
+        assert decision is not None and decision.state == "sdm"
+        counters = {c.name: c.value for c in tel.metrics.counters()}
+        assert counters["admission.sdm_spill"] == 1
+        assert counters["admission.reallocated"] == 1
+        # The freed FDM spectrum really was released.
+        assert alloc.allocated_bandwidth_hz == pytest.approx(0.0)
+
+    def test_ap_reallocate_node_admission_path_counts_failures(self):
+        from repro.admission import AdmissionController
+        from repro.node.access_point import MmxAccessPoint
+
+        alloc = FdmAllocator(band_low_hz=0.0, band_high_hz=100.0,
+                             bandwidth_per_bps=1.0, guard_fraction=0.0,
+                             min_channel_hz=1e-9)
+        ap = MmxAccessPoint(admission=AdmissionController(allocator=alloc))
+        ap.register_node(0, 50.0)
+        alloc.block_range(0.0, 100.0)
+        before = ap.registration(0)
+        assert ap.reallocate_node(0) is None
+        assert ap.registration(0) == before
+        assert ap.stats()["reallocation_failures"] == 1
