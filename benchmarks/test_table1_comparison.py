@@ -33,3 +33,37 @@ def test_table1_platform_comparison(benchmark):
 
     # Cost gap versus research platforms is ~60x (the paper's point).
     assert result.row("MiRa").cost_usd / mmx.cost_usd > 50.0
+
+
+def test_table1_extends_down_market_node_classes():
+    """The repro.energy registry rows slot under the paper's table.
+
+    ``mmx-active`` must *be* the Table-1 mmX row (same hardware
+    ledger, cell for cell), the backscatter tag must undercut every
+    platform in the table on both cost and power, and the harvesting
+    node is the same radio plus a rectenna adder.
+    """
+    import pytest
+
+    from repro.energy import node_class
+
+    result = table1.run()
+    mmx = result.row("mmX")
+
+    active = node_class("mmx-active")
+    assert active.cost_usd == mmx.cost_usd
+    assert active.active_power_w == pytest.approx(mmx.power_w)
+    assert active.bitrate_bps == mmx.bitrate_bps
+    assert active.energy_per_bit_j == pytest.approx(mmx.energy_per_bit_j)
+
+    tag = node_class("mmx-backscatter")
+    for name in ("mmX", "MiRa", "OpenMili", "WiFi", "Bluetooth"):
+        row = result.row(name)
+        assert tag.cost_usd < row.cost_usd
+        assert tag.active_power_w < row.power_w
+
+    harvester = node_class("mmx-harvesting")
+    assert harvester.cost_usd > mmx.cost_usd
+    assert harvester.active_power_w == pytest.approx(mmx.power_w)
+    assert harvester.energy_per_bit_j == pytest.approx(
+        mmx.energy_per_bit_j)

@@ -31,6 +31,7 @@ Layout
 ``repro.node``      MmxNode / MmxAccessPoint devices
 ``repro.network``   FDM, TMA-based SDM, interference, multi-node sims
 ``repro.admission`` million-node spectrum/SDM admission control
+``repro.energy``    node classes, backscatter tags, harvesting duty cycles
 ``repro.baselines`` beam-search baselines and Table 1 platforms
 ``repro.sim``       rooms, blockers, mobility, placements, Monte Carlo
 ``repro.faults``    seeded fault-injection processes and schedules
@@ -74,6 +75,18 @@ from .core import (
     PacketCodec,
     PacketError,
     SnrBreakdown,
+)
+from .energy import (
+    BackscatterLink,
+    CarrierScheduler,
+    EnergyStateMachine,
+    EnergyStore,
+    HarvestModel,
+    NodeClassSpec,
+    node_class,
+    registered_classes,
+    run_compare,
+    run_outage,
 )
 from .engine import (
     Campaign,
@@ -140,11 +153,13 @@ __all__ = [
     "AdmissionController",
     "ApCheckpoint",
     "AskFskConfig",
+    "BackscatterLink",
     "Blocker",
     "CARRIER_FREQUENCY_HZ",
     "Campaign",
     "CampaignPlan",
     "CampaignResult",
+    "CarrierScheduler",
     "ChannelResponse",
     "ChaosResult",
     "ChaosSimulation",
@@ -152,6 +167,8 @@ __all__ = [
     "Cluster",
     "DemodResult",
     "DigitalController",
+    "EnergyStateMachine",
+    "EnergyStore",
     "ExhaustiveBeamSearch",
     "FailoverSimulation",
     "FaultEvent",
@@ -159,6 +176,7 @@ __all__ = [
     "FaultSchedule",
     "FdmAllocator",
     "FixedBeamNode",
+    "HarvestModel",
     "HeartbeatMonitor",
     "HierarchicalBeamSearch",
     "InterferenceModel",
@@ -174,6 +192,7 @@ __all__ = [
     "MonteCarloRunner",
     "MultiNodeNetwork",
     "NODE_EIRP_DBM",
+    "NodeClassSpec",
     "NodeHardware",
     "NullRecorder",
     "OrthogonalBeamPair",
@@ -205,8 +224,12 @@ __all__ = [
     "default_lab_room",
     "default_preamble_bits",
     "design_mmx_beams",
+    "node_class",
     "random_bits",
+    "registered_classes",
     "run_campaign",
+    "run_compare",
+    "run_outage",
     "run_saturation",
     "scenario_injector",
     "trace_paths",

@@ -14,6 +14,16 @@ Commands
                            probability vs load through the admission
                            ladder (``--nodes``, ``--load``, ``--jobs``,
                            ``--out``/``--resume``, ``--json``)
+``energy compare``         Table-1-style node-class comparison: the
+                           active node vs backscatter tags vs
+                           harvesting duty-cycled nodes (a
+                           repro.engine campaign; ``--replicates``,
+                           ``--jobs``, ``--out``/``--resume``,
+                           ``--json``)
+``energy outage``          energy-outage survival drill: a
+                           duty-cycled fleet rides a harvesting
+                           blackout; dormant nodes must not trip
+                           cluster failover (same campaign flags)
 ``campaign EXPERIMENT``    run a sweep as a sharded, resumable campaign
                            (``--jobs``, ``--shards``, ``--out``,
                            ``--resume``; supervision via
@@ -120,6 +130,48 @@ def build_parser() -> argparse.ArgumentParser:
                           "the campaign it holds")
     sat.add_argument("--json", action="store_true", dest="as_json",
                      help="emit the saturation curve as JSON rows")
+
+    energy = sub.add_parser(
+        "energy",
+        help="node-class and energy-constrained-operation studies")
+    energy_sub = energy.add_subparsers(dest="energy_command",
+                                       required=True)
+    comp = energy_sub.add_parser(
+        "compare",
+        help="Table-1-style node-class comparison: active vs "
+             "backscatter vs harvesting (a repro.engine campaign)")
+    comp.add_argument("--bits", type=int, default=400,
+                      help="payload bits measured per link trial")
+    surv = energy_sub.add_parser(
+        "outage",
+        help="energy-outage survival drill: a duty-cycled fleet "
+             "rides a harvesting blackout without tripping cluster "
+             "failover (a repro.engine campaign)")
+    surv.add_argument("--nodes", type=int, default=6,
+                      help="duty-cycled nodes per fleet trial")
+    for preset in (comp, surv):
+        preset.add_argument("--replicates", type=int, default=4,
+                            help="independent trials per node class "
+                                 "(compare) or fleets (outage)")
+        preset.add_argument("--seed", type=int, default=0,
+                            help="campaign master seed")
+        preset.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (1 = in-process "
+                                 "serial; >1 runs supervised)")
+        preset.add_argument("--shards", type=int, default=None,
+                            help="shard count (default: --jobs); "
+                                 "results never depend on it")
+        preset.add_argument("--out", default=None,
+                            help="JSONL result-store path: completed "
+                                 "shards are journaled here, "
+                                 "crash-safely")
+        preset.add_argument("--resume", action="store_true",
+                            help="allow --out to already exist and "
+                                 "resume the campaign it holds")
+        preset.add_argument("--json", action="store_true",
+                            dest="as_json",
+                            help="emit the aggregate as JSON instead "
+                                 "of the text table")
 
     camp = sub.add_parser(
         "campaign",
@@ -429,6 +481,83 @@ def _cmd_admission_saturate(nodes: int, loads: list[float] | None,
     return 0
 
 
+def _cmd_energy(command: str, replicates: int, seed: int, jobs: int,
+                shards: int | None, out: str | None, resume: bool,
+                as_json: bool, bits: int | None = None,
+                nodes: int | None = None) -> int:
+    from .engine import (EngineError, SerialExecutor, StoreError,
+                         SupervisedPool)
+
+    if replicates < 1:
+        print(f"repro energy {command}: --replicates must be at "
+              "least 1", file=sys.stderr)
+        return 2
+    if jobs < 1:
+        print(f"repro energy {command}: --jobs must be at least 1",
+              file=sys.stderr)
+        return 2
+    if shards is not None and shards < 1:
+        print(f"repro energy {command}: --shards must be at least 1",
+              file=sys.stderr)
+        return 2
+    if bits is not None and bits < 1:
+        print("repro energy compare: --bits must be at least 1",
+              file=sys.stderr)
+        return 2
+    if nodes is not None and nodes < 1:
+        print("repro energy outage: --nodes must be at least 1",
+              file=sys.stderr)
+        return 2
+    if resume and out is None:
+        print(f"repro energy {command}: --resume needs --out (the "
+              "store to resume from)", file=sys.stderr)
+        return 2
+    if out is not None and Path(out).exists() and not resume:
+        print(f"repro energy {command}: {out} already exists; pass "
+              "--resume to continue that campaign, or choose a fresh "
+              "path", file=sys.stderr)
+        return 2
+
+    executor: SerialExecutor | SupervisedPool
+    executor = SupervisedPool(jobs=jobs) if jobs > 1 else SerialExecutor()
+    num_shards = shards if shards is not None else jobs
+    try:
+        if command == "compare":
+            from .energy import compare
+
+            result = compare.run_compare(
+                compare.default_config(
+                    replicates=replicates,
+                    num_bits=bits if bits is not None else 400),
+                master_seed=seed, executor=executor,
+                num_shards=num_shards, store=out)
+            payload: object = result.rows()
+            text = compare.render(result)
+        else:
+            from .energy import outage
+
+            fleet = outage.run_outage(
+                outage.default_config(
+                    nodes=nodes if nodes is not None else 6,
+                    replicates=replicates),
+                master_seed=seed, executor=executor,
+                num_shards=num_shards, store=out)
+            payload = fleet.summary()
+            text = outage.render(fleet)
+    except (EngineError, StoreError) as exc:
+        print(_campaign_diagnostic(exc, executor, out), file=sys.stderr)
+        return 2
+    if as_json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+    else:
+        print(text)
+    if out is not None:
+        print(f"\ncampaign store: {out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_campaign(experiment: str, trials: int | None, seed: int,
                   jobs: int, shards: int | None, out: str | None,
                   resume: bool, duration: float,
@@ -656,6 +785,12 @@ def main(argv: list[str] | None = None) -> int:
                                        args.replicates, args.seed,
                                        args.jobs, args.shards, args.out,
                                        args.resume, args.as_json)
+    if args.command == "energy":
+        return _cmd_energy(args.energy_command, args.replicates,
+                           args.seed, args.jobs, args.shards, args.out,
+                           args.resume, args.as_json,
+                           bits=getattr(args, "bits", None),
+                           nodes=getattr(args, "nodes", None))
     if args.command == "campaign":
         return _cmd_campaign(args.experiment, args.trials, args.seed,
                              args.jobs, args.shards, args.out,

@@ -24,7 +24,14 @@ from .failover import (  # noqa: F401
     FailoverResult,
     FailoverSimulation,
 )
-from .heartbeat import HeartbeatMonitor  # noqa: F401
+from .heartbeat import (  # noqa: F401
+    NODE_ACTIVE,
+    NODE_DORMANT,
+    NODE_LIVENESS,
+    NODE_SILENT,
+    HeartbeatMonitor,
+    NodeLivenessTracker,
+)
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
@@ -35,4 +42,9 @@ __all__ = [
     "FailoverResult",
     "FailoverSimulation",
     "HeartbeatMonitor",
+    "NODE_ACTIVE",
+    "NODE_DORMANT",
+    "NODE_LIVENESS",
+    "NODE_SILENT",
+    "NodeLivenessTracker",
 ]

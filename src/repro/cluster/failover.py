@@ -46,7 +46,12 @@ from ..sim.geometry import Point
 from ..telemetry import NullRecorder, TelemetryRecorder
 from ..units import FloatArray
 from .checkpoint import ApCheckpoint, CheckpointError
-from .heartbeat import HeartbeatMonitor
+from .heartbeat import (
+    NODE_DORMANT,
+    NODE_SILENT,
+    HeartbeatMonitor,
+    NodeLivenessTracker,
+)
 
 __all__ = ["ApMember", "Cluster", "FailoverResult", "FailoverSimulation"]
 
@@ -68,7 +73,9 @@ class Cluster:
                  heartbeat: HeartbeatMonitor | None = None,
                  telemetry: TelemetryRecorder | None = None,
                  checkpoint_dir: str | Path | None = None,
-                 fs: FsBackend | None = None):
+                 fs: FsBackend | None = None,
+                 liveness: NodeLivenessTracker | None = None,
+                 silence_failover: bool = False):
         if not aps:
             raise ValueError("a cluster needs at least one AP")
         self.members: dict[int, ApMember] = {
@@ -103,6 +110,24 @@ class Cluster:
         recovery time (corrupt, unreadable).  Recovery *reports* the
         damage and reboots the AP empty instead of raising mid-failover
         — ``repro fsck`` on the checkpoint file tells the rest."""
+        self.liveness = liveness
+        """Optional per-node liveness tracker.  When present,
+        :meth:`register_node` starts watching each admitted node and
+        :meth:`node_heard` / :meth:`node_dormant` feed it; liveness
+        reason codes then qualify node silence in :meth:`step`."""
+        self.silence_failover = bool(silence_failover)
+        """Opt-in second detection path: when every *awake* node an
+        alive-looking AP serves has gone :data:`NODE_SILENT`, treat the
+        AP's backhaul heartbeat as a liar (a beating AP whose whole
+        radio plane is mute) and fail its nodes over.  Nodes classified
+        :data:`NODE_DORMANT` are exempt — a fleet recharging in lock
+        step is silent *on purpose* and must never count as evidence —
+        and an AP serving only dormant nodes is never suspected.
+        Requires ``liveness``."""
+        if self.silence_failover and self.liveness is None:
+            raise ValueError("silence_failover requires a liveness tracker")
+        self.silence_failovers = 0
+        """How many APs were failed over on node-silence evidence."""
 
     # --- membership -------------------------------------------------------
 
@@ -128,13 +153,15 @@ class Cluster:
         return ap_id is not None and self.members[ap_id].alive
 
     def register_node(self, node_id: int, demanded_rate_bps: float,
-                      preference: Sequence[int] | None = None) -> int:
+                      preference: Sequence[int] | None = None,
+                      now_s: float = 0.0) -> int:
         """Admit a node on the best AP in its preference order.
 
         ``preference`` ranks AP ids best-first (defaults to id order);
         it is remembered so failover re-runs the same ranking against
         the surviving set.  Raises :class:`SpectrumExhausted` if no
-        alive AP can fit the demand.
+        alive AP can fit the demand.  With a liveness tracker attached,
+        admission counts as the node's first uplink at ``now_s``.
         """
         if node_id in self.serving or node_id in self.orphaned:
             raise ValueError(f"node {node_id} is already in the cluster")
@@ -151,9 +178,23 @@ class Cluster:
             self.serving[node_id] = ap_id
             self._preferences[node_id] = ranking
             self._rates[node_id] = float(demanded_rate_bps)
+            if self.liveness is not None:
+                self.liveness.watch(node_id, now_s)
             return ap_id
         raise SpectrumExhausted(
             f"no alive AP can admit node {node_id}")
+
+    # --- node liveness ----------------------------------------------------
+
+    def node_heard(self, node_id: int, now_s: float) -> None:
+        """The serving AP decoded an uplink from a node (wakes it)."""
+        if self.liveness is not None:
+            self.liveness.heard(node_id, now_s)
+
+    def node_dormant(self, node_id: int) -> None:
+        """The energy layer declared a node asleep-on-purpose."""
+        if self.liveness is not None:
+            self.liveness.mark_dormant(node_id)
 
     # --- checkpointing ----------------------------------------------------
 
@@ -201,6 +242,12 @@ class Cluster:
     def step(self, now_s: float) -> dict[int, list[int]]:
         """One heartbeat round: alive APs beat, deaths trigger failover.
 
+        With :attr:`silence_failover` armed, an alive-looking AP whose
+        whole *awake* served population is :data:`NODE_SILENT` is also
+        failed over — its backhaul beat no longer vouches for its radio
+        plane.  Dormant nodes never feed that suspicion: a duty-cycled
+        fleet recharging in lock step keeps its AP untouched.
+
         Returns ``{dead_ap_id: [migrated node ids]}`` for every death
         declared this step.
         """
@@ -216,9 +263,39 @@ class Cluster:
                     self._ap_outage_spans[ap_id] = tel.begin(
                         "cluster.ap_outage", ap_id=ap_id)
             migrations[ap_id] = self.fail_over(ap_id)
+        for ap_id in self._silence_suspects(now_s):
+            if tel.enabled:
+                tel.count("cluster.silence_failovers")
+            self.crash(ap_id)
+            self.silence_failovers += 1
+            migrations[ap_id] = self.fail_over(ap_id)
         if tel.enabled:
             tel.gauge("cluster.alive_aps", float(len(self.alive_ap_ids())))
+            if self.liveness is not None:
+                codes = self.liveness.classify_all(now_s)
+                tel.gauge("cluster.dormant_nodes", float(
+                    sum(c == NODE_DORMANT for c in codes.values())))
         return migrations
+
+    def _silence_suspects(self, now_s: float) -> list[int]:
+        """Alive APs condemned by their nodes' unexplained silence.
+
+        An AP is suspect only when it serves at least one *awake*
+        tracked node and every one of them is :data:`NODE_SILENT`.
+        Dormant nodes are invisible to the test — declared sleep is not
+        evidence — so a fully-dormant fleet can never condemn its AP.
+        """
+        if self.liveness is None or not self.silence_failover:
+            return []
+        suspects = []
+        for ap_id in self.alive_ap_ids():
+            codes = [self.liveness.classify(n, now_s)
+                     for n, a in self.serving.items()
+                     if a == ap_id and n in self.liveness]
+            awake = [c for c in codes if c != NODE_DORMANT]
+            if awake and all(c == NODE_SILENT for c in awake):
+                suspects.append(ap_id)
+        return suspects
 
     def fail_over(self, dead_ap_id: int) -> list[int]:
         """Re-associate every node stranded on a dead AP.
@@ -333,6 +410,7 @@ class Cluster:
             "served_nodes": sum(self.is_served(n) for n in self.serving),
             "orphaned_nodes": len(self.orphaned),
             "failovers": self.failover_count,
+            "silence_failovers": self.silence_failovers,
         }
 
 

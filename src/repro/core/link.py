@@ -28,6 +28,7 @@ from ..antenna.element import DipoleElement
 from ..antenna.orthogonal import OrthogonalBeamPair, measured_mmx_beams
 from ..channel.multipath import ChannelResponse, two_beam_gains
 from ..channel.noise import complex_awgn, noise_power_dbm
+from ..channel.pathloss import friis_received_power_dbm
 from ..constants import (
     AP_ANTENNA_GAIN_DBI,
     CARRIER_FREQUENCY_HZ,
@@ -48,7 +49,8 @@ from .ask_fsk import AskFskConfig
 from .demodulator import DemodResult, JointDemodulator
 from .otam import OtamModulator
 
-__all__ = ["SnrBreakdown", "LinkReport", "OtamLink", "perturb_breakdown"]
+__all__ = ["BistaticBreakdown", "SnrBreakdown", "LinkReport", "OtamLink",
+           "bistatic_breakdown", "perturb_breakdown"]
 
 
 @dataclass(frozen=True)
@@ -203,6 +205,115 @@ def perturb_breakdown(breakdown: SnrBreakdown,
         no_otam_snr_db=level1 - noise_dbm,
         inverted=a0 > a1,
     )
+
+
+@dataclass(frozen=True)
+class BistaticBreakdown:
+    """Analytic link quality of a bistatic backscatter link.
+
+    The passive-tag counterpart of :class:`SnrBreakdown`: the carrier
+    makes two trips (AP → tag, tag → AP) and the tag keys data by
+    switching its antenna reflection coefficient between
+    ``gamma_on``/``gamma_off`` — reflection-coefficient ASK (Sun et
+    al. backscatter survey).  Field names mirror the active breakdown
+    so downstream consumers (BER tables, renderers) treat both alike.
+    """
+
+    carrier_at_tag_dbm: float
+    """Illumination carrier power incident on the tag antenna."""
+
+    on_level_dbm: float
+    """Received power at the AP while the tag reflects with Γ_on."""
+
+    off_level_dbm: float
+    """Received power at the AP while the tag reflects with Γ_off."""
+
+    noise_dbm: float
+    """AP receiver noise floor in the measurement bandwidth."""
+
+    ask_snr_db: float
+    """SNR of the reflection-ASK decision (level difference vs
+    noise) — the only modulation dimension a passive tag has."""
+
+    @property
+    def ask_contrast_db(self) -> float:
+        """|level gap| between the two reflection states."""
+        return abs(self.on_level_dbm - self.off_level_dbm)
+
+    def ber(self) -> float:
+        """Predicted BER via the same §9.3 ASK table the active link
+        uses (:func:`repro.phy.ber.ber_ask_table`)."""
+        return float(ber_theory.ber_ask_table(self.ask_snr_db))
+
+
+def bistatic_breakdown(*, downlink_m: float, uplink_m: float | None = None,
+                       ap_eirp_dbm: float = 20.0,
+                       ap_rx_gain_dbi: float = AP_ANTENNA_GAIN_DBI,
+                       tag_gain_dbi: float = 5.0,
+                       gamma_on: float = 0.8, gamma_off: float = 0.1,
+                       conversion_loss_db: float = 6.0,
+                       excess_loss_db: float = 0.0,
+                       frequency_hz: float = CARRIER_FREQUENCY_HZ,
+                       bandwidth_hz: float = 1e6,
+                       noise_figure_db: float | None = None
+                       ) -> BistaticBreakdown:
+    """The bistatic AP → tag → AP link budget.
+
+    Three legs, each plain Friis plus the tag's reflection physics:
+
+    1. carrier at the tag = AP EIRP − FSPL(downlink) + tag gain;
+    2. reflected EIRP for state Γ = carrier + tag gain −
+       conversion loss + ``20 log10 |Γ|`` (the tag re-radiates through
+       the same aperture; the modulator's insertion cost and scattering
+       inefficiency sit in ``conversion_loss_db``);
+    3. level at the AP = reflected EIRP − FSPL(uplink) + AP rx gain.
+
+    The ASK decision distance is the *amplitude difference* of the two
+    reflection states — identical maths to the OTAM beam-contrast
+    decision in :func:`perturb_breakdown`, which is why the existing
+    envelope/Goertzel demodulator decodes backscatter unchanged.
+    ``uplink_m`` defaults to the downlink distance (monostatic-style
+    co-located illuminator and receiver).  ``excess_loss_db`` lets
+    fault disturbances (blockage) tax both trips.
+    """
+    if downlink_m <= 0:
+        raise ValueError("downlink distance must be positive")
+    up_m = downlink_m if uplink_m is None else uplink_m
+    if up_m <= 0:
+        raise ValueError("uplink distance must be positive")
+    if not 0.0 <= gamma_off < gamma_on <= 1.0:
+        raise ValueError("need 0 <= gamma_off < gamma_on <= 1")
+    if conversion_loss_db < 0 or excess_loss_db < 0:
+        raise ValueError("losses cannot be negative")
+    nf = noise_figure_db if noise_figure_db is not None \
+        else AccessPointHardware().cascade_noise_figure_db
+    carrier_at_tag = float(friis_received_power_dbm(
+        eirp_dbm=ap_eirp_dbm, rx_gain_dbi=tag_gain_dbi,
+        distance_m=downlink_m, frequency_hz=frequency_hz)) \
+        - excess_loss_db
+
+    def _reflected_level(gamma: float) -> float:
+        if gamma == 0.0:
+            return float("-inf")
+        # The reflection coefficient acts once on the field, so the
+        # power term is 20 log10|Γ| — exactly amplitude_to_db(gamma).
+        reflected_eirp = (carrier_at_tag + tag_gain_dbi
+                          - conversion_loss_db
+                          + float(amplitude_to_db(gamma)))
+        return float(friis_received_power_dbm(
+            eirp_dbm=reflected_eirp, rx_gain_dbi=ap_rx_gain_dbi,
+            distance_m=up_m, frequency_hz=frequency_hz)) - excess_loss_db
+
+    on_level = _reflected_level(gamma_on)
+    off_level = _reflected_level(gamma_off)
+    noise = noise_power_dbm(bandwidth_hz, nf)
+    a_on, a_off = _amplitude(on_level), _amplitude(off_level)
+    ask_snr = _level(abs(a_on - a_off)) - noise
+    return BistaticBreakdown(carrier_at_tag_dbm=carrier_at_tag,
+                             on_level_dbm=on_level,
+                             off_level_dbm=off_level,
+                             noise_dbm=noise,
+                             ask_snr_db=ask_snr)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,89 @@
+"""Node classes, backscatter, and energy-constrained operation.
+
+The paper's prototype is one device: always on, self-carriered, $110.
+The "billions of things" pitch needs tiers below it.  This package
+supplies them, layered bottom-up:
+
+* :mod:`~repro.energy.classes` — the node-class registry: per-class
+  capability descriptors (power source, carrier source, modulation,
+  duty model) with the paper's active node re-registered unchanged;
+* :mod:`~repro.energy.backscatter` + :mod:`~repro.energy.carrier` —
+  passive reflection-coefficient ASK tags riding the *unchanged*
+  envelope/Goertzel receiver (the bistatic budget lives in
+  :func:`repro.core.link.bistatic_breakdown`), plus the AP-side
+  illumination-airtime ledger admission consults;
+* :mod:`~repro.energy.harvest`, :mod:`~repro.energy.battery`,
+  :mod:`~repro.energy.scheduler` — the Khan et al. harvesting closed
+  forms, the never-negative energy store with its harvest → charge →
+  wake → transmit → sleep machine, and the duty-cycle scheduler that
+  defers (not drops) MAC traffic while the node is *dormant*;
+* :mod:`~repro.energy.compare`, :mod:`~repro.energy.outage` — the
+  Table-1-style node-class comparison and the energy-outage survival
+  drill, both :mod:`repro.engine` campaign presets with the
+  byte-identical serial/parallel contract
+  (``python -m repro energy compare`` / ``... energy outage``).
+"""
+
+from .backscatter import BackscatterLink, backscatter_config
+from .battery import (
+    ENERGY_STATES,
+    EnergyStateMachine,
+    EnergyStep,
+    EnergyStore,
+)
+from .carrier import CarrierScheduler
+from .classes import (
+    ACTIVE_CLASS,
+    BACKSCATTER_CLASS,
+    CARRIER_SOURCES,
+    DUTY_MODELS,
+    HARVESTING_CLASS,
+    MODULATIONS,
+    NodeClassSpec,
+    POWER_SOURCES,
+    node_class,
+    register_node_class,
+    registered_classes,
+)
+from .compare import (
+    CompareConfig,
+    CompareResult,
+    compare_trial,
+    run_compare,
+)
+from .harvest import HarvestModel, rectified_power_w
+from .outage import OutageConfig, OutageResult, outage_trial, run_outage
+from .scheduler import DutyCycleScheduler, SchedulerStats
+
+__all__ = [
+    "ACTIVE_CLASS",
+    "BACKSCATTER_CLASS",
+    "BackscatterLink",
+    "CARRIER_SOURCES",
+    "CarrierScheduler",
+    "CompareConfig",
+    "CompareResult",
+    "DUTY_MODELS",
+    "DutyCycleScheduler",
+    "ENERGY_STATES",
+    "EnergyStateMachine",
+    "EnergyStep",
+    "EnergyStore",
+    "HARVESTING_CLASS",
+    "HarvestModel",
+    "MODULATIONS",
+    "NodeClassSpec",
+    "OutageConfig",
+    "OutageResult",
+    "POWER_SOURCES",
+    "SchedulerStats",
+    "backscatter_config",
+    "compare_trial",
+    "node_class",
+    "outage_trial",
+    "rectified_power_w",
+    "register_node_class",
+    "registered_classes",
+    "run_compare",
+    "run_outage",
+]

@@ -1,0 +1,267 @@
+"""The node-class registry: per-class capability descriptors.
+
+The seed codebase bakes one device into every layer: `MmxNode` is
+always on, generates its own carrier with a free-running VCO, and
+modulates by beam switching (joint ASK-FSK).  The "billions of things"
+vision needs tiers below that — passive backscatter tags that reflect
+an AP-provided carrier, and harvesting-powered nodes that sleep most
+of their lives — and those differ in *capabilities*, not parameters.
+
+This module factors the assumptions into a :class:`NodeClassSpec`
+descriptor (power source, carrier source, modulation, duty model, plus
+the cost/power/bitrate figures the Table-1 comparison reports) and a
+process-wide registry.  The registry is populated once at import time
+with the three built-in classes and is **read-only from worker code**:
+campaign trials only ever look classes up, so parallel shards see the
+same frozen specs and the serial/parallel determinism contract holds.
+
+Built-in classes
+----------------
+``mmx-active``        the paper's $110 / 1.1 W always-on prototype,
+                      re-registered *unchanged* (same hardware ledger
+                      Table 1 uses).
+``mmx-backscatter``   a passive tag: an RF switch toggling its antenna
+                      reflection coefficient keys ASK onto the AP's
+                      illumination carrier (Sun et al. survey).
+``mmx-harvesting``    the active front-end behind a rectenna + storage
+                      capacitor, duty-cycled by the battery state
+                      machine (Khan et al. harvesting models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import NODE_EIRP_DBM
+from ..hardware.chains import NodeHardware
+from ..hardware.power import PowerStateProfile, active_node_profile
+
+__all__ = [
+    "ACTIVE_CLASS",
+    "BACKSCATTER_CLASS",
+    "CARRIER_SOURCES",
+    "DUTY_MODELS",
+    "HARVESTING_CLASS",
+    "MODULATIONS",
+    "NodeClassSpec",
+    "POWER_SOURCES",
+    "node_class",
+    "register_node_class",
+    "registered_classes",
+]
+
+POWER_SOURCES = ("mains", "battery", "harvested", "passive")
+"""Where the node's energy comes from.  ``passive`` means the device
+consumes only what its logic sips — it has no transmitter to feed."""
+
+CARRIER_SOURCES = ("self", "ap")
+"""Who generates the mmWave carrier: the node's own VCO, or the AP
+illuminating the node (backscatter)."""
+
+MODULATIONS = ("ask-fsk", "backscatter-ask")
+"""How data gets onto the carrier: the paper's joint beam-switched
+ASK-FSK, or reflection-coefficient ASK against an external carrier."""
+
+DUTY_MODELS = ("always-on", "duty-cycled", "illuminated")
+"""When the node can talk: continuously, when its energy store allows,
+or only while the AP shines a carrier on it."""
+
+ACTIVE_CLASS = "mmx-active"
+BACKSCATTER_CLASS = "mmx-backscatter"
+HARVESTING_CLASS = "mmx-harvesting"
+
+
+@dataclass(frozen=True)
+class NodeClassSpec:
+    """Capability descriptor for one class of mmX end device.
+
+    Frozen and hashable so specs can ride inside campaign configs and
+    cross process boundaries without aliasing risk.
+    """
+
+    name: str
+    power_source: str
+    carrier_source: str
+    modulation: str
+    duty_model: str
+    cost_usd: float
+    power: PowerStateProfile
+    bitrate_bps: float
+    tx_power_dbm: float
+    range_m: float
+    carrier_ghz: float = 24.125
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node class needs a name")
+        if self.power_source not in POWER_SOURCES:
+            raise ValueError(f"unknown power source {self.power_source!r}; "
+                             f"choose from {POWER_SOURCES}")
+        if self.carrier_source not in CARRIER_SOURCES:
+            raise ValueError(f"unknown carrier source "
+                             f"{self.carrier_source!r}; "
+                             f"choose from {CARRIER_SOURCES}")
+        if self.modulation not in MODULATIONS:
+            raise ValueError(f"unknown modulation {self.modulation!r}; "
+                             f"choose from {MODULATIONS}")
+        if self.duty_model not in DUTY_MODELS:
+            raise ValueError(f"unknown duty model {self.duty_model!r}; "
+                             f"choose from {DUTY_MODELS}")
+        if self.cost_usd < 0:
+            raise ValueError("cost cannot be negative")
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if self.range_m <= 0:
+            raise ValueError("range must be positive")
+        if self.carrier_ghz <= 0:
+            raise ValueError("carrier frequency must be positive")
+        # Capability coherence: a backscatter modulator by definition
+        # rides an external carrier, and a self-carrier node cannot be
+        # purely passive (its VCO alone burns milliwatts).
+        if self.modulation == "backscatter-ask" \
+                and self.carrier_source != "ap":
+            raise ValueError("backscatter modulation needs an AP carrier")
+        if self.power_source == "passive" and self.carrier_source == "self":
+            raise ValueError("a passive node cannot generate its own "
+                             "carrier")
+
+    @property
+    def is_passive(self) -> bool:
+        """Whether the device has no transmitter of its own."""
+        return self.power_source == "passive"
+
+    @property
+    def generates_carrier(self) -> bool:
+        """Whether the node radiates its own carrier (vs reflecting)."""
+        return self.carrier_source == "self"
+
+    @property
+    def needs_illumination(self) -> bool:
+        """Whether the AP must spend carrier airtime to hear this node."""
+        return self.carrier_source == "ap"
+
+    @property
+    def energy_per_bit_j(self) -> float:
+        """Transmit-state energy per bit [J] — the Table-1 metric."""
+        return self.power.tx_w / self.bitrate_bps
+
+    @property
+    def active_power_w(self) -> float:
+        """Draw while communicating [W] (tx state of the ledger)."""
+        return self.power.tx_w
+
+
+_REGISTRY: dict[str, NodeClassSpec] = {}
+
+
+def register_node_class(spec: NodeClassSpec, *,
+                        replace: bool = False) -> NodeClassSpec:
+    """Register a node class; refuses silent redefinition.
+
+    Registration is an import-time act (module top level), never done
+    from campaign trial code — the registry must look identical to
+    every worker process for determinism.
+    """
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(f"node class {spec.name!r} is already "
+                         "registered (pass replace=True to override)")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def node_class(name: str) -> NodeClassSpec:
+    """Look up one registered class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown node class {name!r}; "
+                       f"registered: {known}") from None
+
+
+def registered_classes() -> tuple[str, ...]:
+    """Names of all registered classes, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def _builtin_active() -> NodeClassSpec:
+    """The paper's prototype, re-registered unchanged.
+
+    Every figure is taken from the same :class:`NodeHardware` ledger
+    the Table-1 comparison already uses — this descriptor *describes*
+    the existing node, it does not re-specify it.
+    """
+    hw = NodeHardware()
+    return NodeClassSpec(
+        name=ACTIVE_CLASS,
+        power_source="mains",
+        carrier_source="self",
+        modulation="ask-fsk",
+        duty_model="always-on",
+        cost_usd=hw.total_cost_usd,
+        power=active_node_profile(hw),
+        bitrate_bps=hw.max_bitrate_bps,
+        tx_power_dbm=hw.radiated_eirp_dbm,
+        range_m=18.0,
+        description="the paper's always-on active transmitter (§8)",
+    )
+
+
+def _builtin_backscatter() -> NodeClassSpec:
+    """A passive mmWave tag (Sun et al. survey, Table 3 platforms).
+
+    The bill of materials is an antenna, an RF switch and control
+    logic — a few dollars.  The "tx" state is the switch toggling the
+    reflection coefficient (tens of microwatts); the tag radiates no
+    carrier of its own, so ``tx_power_dbm`` is the *conversion-loss
+    budget* applied to the illumination, not an EIRP (the bistatic
+    budget in :mod:`repro.core.link` computes the actual reflected
+    level).  Bitrate is envelope-limited, far below the active 100
+    Mbps.
+    """
+    return NodeClassSpec(
+        name=BACKSCATTER_CLASS,
+        power_source="passive",
+        carrier_source="ap",
+        modulation="backscatter-ask",
+        duty_model="illuminated",
+        cost_usd=4.0,
+        power=PowerStateProfile(tx_w=30e-6, rx_w=10e-6,
+                                idle_w=2e-6, sleep_w=0.5e-6),
+        bitrate_bps=1e6,
+        tx_power_dbm=-10.0,
+        range_m=4.0,
+        description="passive reflection-coefficient ASK tag",
+    )
+
+
+def _builtin_harvesting() -> NodeClassSpec:
+    """The active front end behind a rectenna and storage capacitor.
+
+    Same radio as ``mmx-active`` (same tx draw, bitrate, EIRP) plus a
+    rectenna and power-management IC (Khan et al.), so it costs a few
+    dollars more — but it is *duty-cycled*: the battery state machine
+    in :mod:`repro.energy.battery` decides when it may transmit.
+    """
+    hw = NodeHardware()
+    active = active_node_profile(hw)
+    return NodeClassSpec(
+        name=HARVESTING_CLASS,
+        power_source="harvested",
+        carrier_source="self",
+        modulation="ask-fsk",
+        duty_model="duty-cycled",
+        cost_usd=hw.total_cost_usd + 8.0,
+        power=PowerStateProfile(tx_w=active.tx_w, rx_w=active.rx_w,
+                                idle_w=active.idle_w, sleep_w=100e-6),
+        bitrate_bps=hw.max_bitrate_bps,
+        tx_power_dbm=NODE_EIRP_DBM,
+        range_m=18.0,
+        description="duty-cycled energy-harvesting node",
+    )
+
+
+register_node_class(_builtin_active())
+register_node_class(_builtin_backscatter())
+register_node_class(_builtin_harvesting())

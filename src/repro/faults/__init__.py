@@ -20,6 +20,7 @@ from .injector import (
 )
 from .processes import (
     ApCrashProcess,
+    EnergyOutageProcess,
     InterfererProcess,
     NodeDropoutProcess,
     PersistentBlockerProcess,
@@ -31,6 +32,7 @@ from .processes import (
 
 __all__ = [
     "ApCrashProcess",
+    "EnergyOutageProcess",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",

@@ -35,6 +35,7 @@ FAULT_KINDS = (
     "side_channel_outage",
     "interference",
     "ap_crash",
+    "energy_outage",
 )
 """Every fault class the injector knows how to schedule.
 
@@ -58,6 +59,13 @@ ap_crash                  An entire access point goes down (power cut, kernel
                           (:mod:`repro.cluster`), not the link model —
                           :meth:`FaultSchedule.disturbance_at` passes it
                           through untouched in ``active_kinds``.
+energy_outage             The harvesting field collapses (illuminator blocked
+                          or powered off); severity is the *fraction of
+                          harvested power lost*, in [0, 1].  Consumed by the
+                          energy layer (:mod:`repro.energy`) via the
+                          ``harvest_scale`` disturbance field — the link
+                          budget itself is untouched until the node's store
+                          actually runs dry and it goes dormant.
 ========================  ====================================================
 """
 
@@ -87,6 +95,9 @@ class FaultEvent:
         if self.kind == "ap_crash" and (
                 self.severity < 0 or self.severity != int(self.severity)):
             raise ValueError("ap_crash severity is a non-negative AP index")
+        if self.kind == "energy_outage" and not 0.0 <= self.severity <= 1.0:
+            raise ValueError("energy_outage severity is the harvested-"
+                             "power fraction lost, in [0, 1]")
 
     @property
     def end_s(self) -> float:
@@ -133,6 +144,13 @@ class LinkDisturbance:
     node_down: bool = False
     side_channel_up: bool = True
     interference_dbm: float = float("-inf")
+    harvest_scale: float = 1.0
+    """Multiplier on harvested power in force at this instant (1.0 =
+    the field is intact, 0.0 = total energy outage).  Consumed by the
+    :mod:`repro.energy` battery layer, not the link budget —
+    :func:`repro.core.link.perturb_breakdown` ignores it, the same
+    control-plane pass-through treatment ``ap_crash`` gets."""
+
     active_kinds: tuple[str, ...] = field(default=())
 
     def __post_init__(self):
@@ -140,6 +158,8 @@ class LinkDisturbance:
             raise ValueError("excess loss cannot be negative")
         if self.stuck_beam not in (None, 0, 1):
             raise ValueError("stuck beam must be None, 0 or 1")
+        if not 0.0 <= self.harvest_scale <= 1.0:
+            raise ValueError("harvest scale must be in [0, 1]")
 
     @property
     def is_clear(self) -> bool:
@@ -151,7 +171,8 @@ class LinkDisturbance:
                 and self.stuck_beam is None
                 and not self.node_down
                 and self.side_channel_up
-                and not self.has_interference)
+                and not self.has_interference
+                and self.harvest_scale == 1.0)
 
     @property
     def has_interference(self) -> bool:

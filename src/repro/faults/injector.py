@@ -21,6 +21,7 @@ import numpy as np
 from ..units import dbm_to_milliwatts, milliwatts_to_dbm
 from .events import NO_DISTURBANCE, FaultEvent, LinkDisturbance
 from .processes import (
+    EnergyOutageProcess,
     InterfererProcess,
     NodeDropoutProcess,
     PersistentBlockerProcess,
@@ -77,8 +78,10 @@ class FaultSchedule:
         interference events only land on a victim sharing the
         interferer's channel (``None`` matches any — the conservative
         single-link view).  Blockage losses add in dB (bodies stack),
-        interference powers add linearly, drift offsets add, and the
-        most recent stuck-beam event wins.
+        interference powers add linearly, drift offsets add, the most
+        recent stuck-beam event wins, and energy-outage severities
+        (harvest fractions lost) compose multiplicatively on the
+        surviving harvest scale.
         """
         active = self.active_at(time_s)
         if not active:
@@ -90,6 +93,7 @@ class FaultSchedule:
         node_down = False
         side_up = True
         interference_lin = 0.0
+        harvest_scale = 1.0
         kinds = []
         for event in active:
             kinds.append(event.kind)
@@ -109,6 +113,8 @@ class FaultSchedule:
                 if channel_index is None \
                         or event.channel_index == channel_index:
                     interference_lin += float(dbm_to_milliwatts(event.severity))
+            elif event.kind == "energy_outage":
+                harvest_scale *= 1.0 - event.severity
         interference_dbm = (float(milliwatts_to_dbm(interference_lin))
                             if interference_lin > 0 else float("-inf"))
         return LinkDisturbance(
@@ -119,6 +125,7 @@ class FaultSchedule:
             node_down=node_down,
             side_channel_up=side_up,
             interference_dbm=float(interference_dbm),
+            harvest_scale=harvest_scale,
             active_kinds=tuple(sorted(set(kinds))),
         )
 
@@ -197,6 +204,11 @@ def _drift_processes():
                             peak_offset_hz=0.6e6)]
 
 
+def _energy_outage_processes():
+    return [EnergyOutageProcess(start_s=6.0, duration_s=12.0,
+                                severity=1.0)]
+
+
 def _kitchen_sink_processes():
     return [
         TransientBlockerProcess(rate_per_minute=6.0),
@@ -217,6 +229,7 @@ SCENARIOS = {
     "dropout": _dropout_processes,
     "stuck-beam": _stuck_beam_processes,
     "drift": _drift_processes,
+    "energy-outage": _energy_outage_processes,
     "kitchen-sink": _kitchen_sink_processes,
 }
 """Named fault scenarios the chaos experiment and CLI expose."""

@@ -26,6 +26,7 @@ __all__ = [
     "SideChannelOutageProcess",
     "InterfererProcess",
     "ApCrashProcess",
+    "EnergyOutageProcess",
 ]
 
 
@@ -239,6 +240,43 @@ class InterfererProcess:
                            severity=self.power_dbm,
                            channel_index=self.channel_index,
                            label="in-band ISM interferer")]
+
+
+@dataclass(frozen=True)
+class EnergyOutageProcess:
+    """The harvesting field collapses for a window.
+
+    Someone parks a forklift in front of the power illuminator, the
+    illuminator reboots, or the facility sheds its wireless-power
+    budget: every harvesting node in the field loses ``severity`` of
+    its harvested power for the window (Khan et al. treat illuminator
+    availability as the dominant outage mode — a rectenna has no
+    battery truck to fall back on).  Unlike a ``dropout`` this does
+    not silence the node instantly: the store drains, the node goes
+    *dormant*, and it must be recognised as sleeping-not-dead by the
+    resilience and cluster layers.
+    """
+
+    start_s: float = 5.0
+    duration_s: float = 10.0
+    severity: float = 1.0
+    """Fraction of harvested power lost, in (0, 1]."""
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.duration_s)
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError("severity is the harvest fraction lost, "
+                             "in (0, 1]")
+
+    def events(self, rng: np.random.Generator,
+               duration_s: float) -> list[FaultEvent]:
+        """The single deterministic outage window (RNG unused)."""
+        if self.start_s >= duration_s:
+            return []
+        return [FaultEvent(kind="energy_outage", start_s=self.start_s,
+                           duration_s=self.duration_s,
+                           severity=self.severity,
+                           label="harvesting field outage")]
 
 
 @dataclass(frozen=True)

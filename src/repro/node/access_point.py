@@ -24,6 +24,8 @@ from ..phy.waveform import Waveform
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from ..admission.controller import AdmissionController
+    from ..energy.carrier import CarrierScheduler
+    from ..energy.classes import NodeClassSpec
 
 __all__ = ["NodeRegistration", "MmxAccessPoint"]
 
@@ -45,7 +47,8 @@ class MmxAccessPoint:
                  antenna: DipoleElement | None = None,
                  allocator: FdmAllocator | None = None,
                  codec: PacketCodec | None = None,
-                 admission: AdmissionController | None = None):
+                 admission: AdmissionController | None = None,
+                 carrier: CarrierScheduler | None = None):
         self.hardware = hardware or AccessPointHardware()
         self.antenna = antenna or DipoleElement()
         self.admission = admission
@@ -59,6 +62,21 @@ class MmxAccessPoint:
             self.allocator = admission.allocator
         else:
             self.allocator = allocator or FdmAllocator()
+        self.carrier = carrier
+        """Optional :class:`repro.energy.CarrierScheduler` — the AP's
+        illumination-airtime budget for passive backscatter tags.  With
+        an admission controller attached the two must be the same
+        object (the ladder unwinds spectrum when airtime blocks), so a
+        controller-held scheduler is adopted automatically."""
+        if carrier is None and admission is not None:
+            self.carrier = admission.carrier
+        elif carrier is not None and admission is not None \
+                and admission.carrier is None:
+            admission.carrier = carrier
+        elif carrier is not None and admission is not None \
+                and admission.carrier is not carrier:
+            raise ValueError("the AP and its admission controller must "
+                             "share one CarrierScheduler")
         self.codec = codec or PacketCodec()
         self._registrations: dict[int, NodeRegistration] = {}
         self._demodulators: dict[int, JointDemodulator] = {}
@@ -110,6 +128,70 @@ class MmxAccessPoint:
             self.assign_tma_slot(node_id, decision.sdm.harmonic_index)
         return registration
 
+    def register_backscatter_node(self, node_id: int,
+                                  illumination_duty: float,
+                                  spec: NodeClassSpec | None = None,
+                                  config: AskFskConfig | None = None,
+                                  bearing_rad: float | None = None
+                                  ) -> NodeRegistration:
+        """Admit a passive backscatter tag.
+
+        A tag needs **two** grants where an active node needs one: a
+        spectrum rung (the reflected sidebands still occupy band) *and*
+        ``illumination_duty`` of this AP's carrier airtime — reflected
+        bits only exist while the AP illuminates the tag.  Requires a
+        :class:`~repro.energy.CarrierScheduler` (:attr:`carrier`).
+
+        With an admission controller the whole two-resource walk is one
+        atomic :meth:`AdmissionController.admit` call; standalone, the
+        same order (spectrum, then airtime, unwinding spectrum on an
+        airtime miss) is applied here.  Either way a blocked tag holds
+        nothing and :class:`~repro.network.fdm.SpectrumExhausted` is
+        raised, matching :meth:`register_node`'s failure signal.
+        """
+        from ..energy.classes import BACKSCATTER_CLASS, node_class
+
+        if self.carrier is None:
+            raise ValueError("backscatter registration needs a "
+                             "CarrierScheduler on the AP")
+        if node_id in self._registrations:
+            raise ValueError(f"node {node_id} is already registered")
+        tag = spec if spec is not None else node_class(BACKSCATTER_CLASS)
+        if tag.modulation != "backscatter-ask":
+            raise ValueError(f"node class {tag.name!r} is not a "
+                             "backscatter class")
+        from ..network.fdm import SpectrumExhausted
+
+        sdm_harmonic: int | None = None
+        if self.admission is not None:
+            decision = self.admission.admit(
+                node_id, tag.bitrate_bps, bearing_rad=bearing_rad,
+                illumination_duty=illumination_duty)
+            if not decision.admitted:
+                raise SpectrumExhausted(
+                    f"admission ladder blocked tag {node_id}")
+            assert decision.plan is not None
+            channel = decision.plan
+            if decision.sdm is not None:
+                sdm_harmonic = decision.sdm.harmonic_index
+        else:
+            channel = self.allocator.allocate(node_id, tag.bitrate_bps)
+            if not self.carrier.reserve(node_id, illumination_duty):
+                self.allocator.release(node_id)
+                raise SpectrumExhausted(
+                    f"no illumination airtime for tag {node_id}")
+        if config is None:
+            from ..energy.backscatter import backscatter_config
+
+            config = backscatter_config(tag.bitrate_bps)
+        registration = NodeRegistration(node_id=node_id, channel=channel,
+                                        config=config)
+        self._registrations[node_id] = registration
+        self._demodulators[node_id] = JointDemodulator(config)
+        if sdm_harmonic is not None:
+            self.assign_tma_slot(node_id, sdm_harmonic)
+        return registration
+
     def adopt_registration(self, node_id: int, channel: ChannelPlan,
                            config: AskFskConfig) -> NodeRegistration:
         """Install a registration whose channel the allocator already holds.
@@ -145,6 +227,11 @@ class MmxAccessPoint:
             self.admission.release(node_id)
         else:
             self.allocator.release(node_id)
+        # Standalone (no-admission) tags hold a carrier grant the
+        # allocator knows nothing about; the admission path has
+        # already freed its own.
+        if self.carrier is not None and node_id in self.carrier:
+            self.carrier.release(node_id)
 
     def registration(self, node_id: int) -> NodeRegistration:
         """Look up a node's registration."""
@@ -268,13 +355,17 @@ class MmxAccessPoint:
 
     def stats(self) -> dict:
         """Control-plane health counters for operators and chaos gates."""
-        return {
+        stats = {
             "registered_nodes": len(self._registrations),
             "tma_assignments": len(self._tma_assignments),
             "reallocation_failures": self.reallocation_failures,
             "allocated_bandwidth_hz": self.allocator.allocated_bandwidth_hz,
             "blocked_ranges": len(self.allocator.blocked_ranges),
         }
+        if self.carrier is not None:
+            stats["carrier_grants"] = len(self.carrier)
+            stats["carrier_utilization"] = self.carrier.utilization
+        return stats
 
     def attach_health_monitor(self, node_id: int, monitor) -> None:
         """Attach a :class:`repro.resilience.LinkHealthMonitor` to one

@@ -13,6 +13,7 @@ under identical fault schedules.
 from .chaos import ChaosResult, ChaosSimulation
 from .health import (
     DEGRADED,
+    DORMANT,
     HEALTHY,
     OUTAGE,
     EwmaEstimator,
@@ -25,6 +26,7 @@ __all__ = [
     "ChaosResult",
     "ChaosSimulation",
     "DEGRADED",
+    "DORMANT",
     "EwmaEstimator",
     "HEALTHY",
     "LinkHealthMonitor",

@@ -18,6 +18,7 @@ __all__ = [
     "EwmaEstimator",
     "HEALTHY",
     "DEGRADED",
+    "DORMANT",
     "OUTAGE",
     "LinkHealthMonitor",
     "LinkHealthReport",
@@ -26,6 +27,11 @@ __all__ = [
 HEALTHY = "healthy"
 DEGRADED = "degraded"
 OUTAGE = "outage"
+DORMANT = "dormant"
+"""Energy-gated sleep: the node is silent *on purpose* and will wake
+once its store recharges.  Not a health-classifier output (the monitor
+still sees silence); the supervisor reports it so outage accounting and
+failover suspicion can tell sleep from death."""
 
 
 class EwmaEstimator:

@@ -38,7 +38,7 @@ from ..phy import ber as ber_theory
 from ..rng import ensure_rng
 from ..telemetry import NullRecorder, TelemetryRecorder
 from ..units import linear_to_db
-from .health import HEALTHY, OUTAGE, LinkHealthMonitor
+from .health import DORMANT, HEALTHY, OUTAGE, LinkHealthMonitor
 
 __all__ = [
     "RecoveryAction",
@@ -56,7 +56,7 @@ class RecoveryAction:
     """One of 'link-lost', 'reinit-attempt', 'reinit-backoff',
     'reinit-success', 'branch-fallback', 'coding-step-down',
     'coding-step-up', 'rate-step-down', 'rate-step-up',
-    'channel-reallocation'."""
+    'channel-reallocation', 'dormant-hold', 'dormant-wake'."""
 
     detail: str = ""
 
@@ -150,6 +150,7 @@ class LinkSupervisor:
         self._healthy_since: float | None = None
         self._outage_span = None
         self._reinit_span = None
+        self._dormant = False
 
     # --- helpers ---------------------------------------------------------
 
@@ -205,6 +206,7 @@ class LinkSupervisor:
     def step(self, time_s: float, breakdown, *,
              node_down: bool = False,
              side_channel_up: bool = True,
+             dormant: bool = False,
              reallocate=None) -> SupervisorDecision:
         """Observe one instant's link state and act on it.
 
@@ -212,8 +214,28 @@ class LinkSupervisor:
         :class:`repro.core.link.SnrBreakdown` the AP measures this step;
         ``reallocate`` is an optional zero-argument callable that asks
         the AP to move this node's channel, returning True on success.
+
+        ``dormant`` marks *energy-gated sleep* (the battery state
+        machine is recharging): the node is silent but alive, so the
+        ladder **holds** — no link-lost, no re-init storm, no rate
+        step-down; initialization and the health estimate survive the
+        nap and transmission resumes the step after wake-up.  A real
+        power dropout (``node_down``) still wins: a browned-out node
+        genuinely lost its assignment.
         """
         actions: list[RecoveryAction] = []
+
+        if dormant and not node_down:
+            if not self._dormant:
+                self._dormant = True
+                actions.append(self._log(
+                    time_s, "dormant-hold",
+                    "energy-gated sleep; holding link state"))
+            return self._silent_decision(time_s, DORMANT, actions)
+        if self._dormant:
+            self._dormant = False
+            actions.append(self._log(time_s, "dormant-wake",
+                                     "store recharged; resuming"))
 
         # Rung 4a: power dropout — the assignment is gone; arm an
         # immediate first re-init attempt for when power returns.

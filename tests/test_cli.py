@@ -425,3 +425,75 @@ class TestAdmissionSaturate:
         # curve, no recomputation surprises.
         assert main(argv + ["--resume"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestEnergyCommands:
+    def test_parser_defaults(self):
+        comp = build_parser().parse_args(["energy", "compare"])
+        assert comp.energy_command == "compare"
+        assert comp.bits == 400
+        assert comp.replicates == 4
+        assert comp.jobs == 1
+        assert not comp.as_json
+        surv = build_parser().parse_args(["energy", "outage"])
+        assert surv.energy_command == "outage"
+        assert surv.nodes == 6
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["energy"])
+
+    def test_compare_prints_the_class_table(self, capsys):
+        assert main(["energy", "compare", "--replicates", "1",
+                     "--bits", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "mmx-active" in out
+        assert "mmx-backscatter" in out
+        assert "mmx-harvesting" in out
+
+    def test_compare_json_rows(self, capsys):
+        import json
+
+        assert main(["energy", "compare", "--replicates", "1",
+                     "--bits", "64", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["node_class"] for r in rows] \
+            == ["mmx-active", "mmx-backscatter", "mmx-harvesting"]
+        assert set(rows[0]) >= {"cost_usd", "duty_cycle",
+                                "delivery_ratio", "measured_ber"}
+
+    def test_outage_json_summary(self, capsys):
+        import json
+
+        assert main(["energy", "outage", "--replicates", "1",
+                     "--nodes", "2", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["silence_failovers"] == 0
+        assert "dormant_holds" in summary
+
+    def test_bad_flags_fail(self, capsys):
+        assert main(["energy", "compare", "--replicates", "0"]) == 2
+        assert "--replicates" in capsys.readouterr().err
+        assert main(["energy", "compare", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["energy", "compare", "--bits", "0"]) == 2
+        assert "--bits" in capsys.readouterr().err
+        assert main(["energy", "outage", "--nodes", "0"]) == 2
+        assert "--nodes" in capsys.readouterr().err
+        assert main(["energy", "compare", "--resume"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_existing_store_needs_resume(self, tmp_path, capsys):
+        store = tmp_path / "energy.jsonl"
+        store.write_text("")
+        assert main(["energy", "compare", "--out", str(store)]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_store_and_resume_roundtrip(self, tmp_path, capsys):
+        store = tmp_path / "compare.jsonl"
+        argv = ["energy", "compare", "--replicates", "1", "--bits",
+                "64", "--json", "--out", str(store)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first

@@ -202,3 +202,51 @@ class TestProcesses:
         events = NodeDropoutProcess(rate_per_minute=20.0).events(rng, 120.0)
         for first, second in zip(events, events[1:]):
             assert second.start_s >= first.end_s
+
+
+class TestEnergyOutage:
+    def test_harvest_scale_validated_and_clear(self):
+        with pytest.raises(ValueError):
+            LinkDisturbance(harvest_scale=1.5)
+        with pytest.raises(ValueError):
+            LinkDisturbance(harvest_scale=-0.1)
+        assert not LinkDisturbance(harvest_scale=0.5).is_clear
+        assert LinkDisturbance(harvest_scale=1.0).is_clear
+
+    def test_severities_compose_multiplicatively(self):
+        from repro.faults.processes import EnergyOutageProcess
+
+        injector = FaultInjector(
+            [EnergyOutageProcess(start_s=0.0, duration_s=10.0,
+                                 severity=0.5),
+             EnergyOutageProcess(start_s=5.0, duration_s=10.0,
+                                 severity=0.5)],
+            master_seed=0)
+        schedule = injector.schedule(20.0)
+        assert schedule.disturbance_at(2.0).harvest_scale \
+            == pytest.approx(0.5)
+        assert schedule.disturbance_at(7.0).harvest_scale \
+            == pytest.approx(0.25)
+        assert schedule.disturbance_at(16.0).harvest_scale == 1.0
+
+    def test_energy_outage_scenario_blacks_out_harvesting(self):
+        schedule = scenario_injector("energy-outage",
+                                     master_seed=0).schedule(30.0)
+        assert "energy_outage" in schedule.kinds()
+        scales = [schedule.disturbance_at(t).harvest_scale
+                  for t in np.arange(0.0, 30.0, 0.5)]
+        assert min(scales) == 0.0  # a true blackout, not a dip
+        assert scales[0] == 1.0 and scales[-1] == 1.0
+
+    def test_harvest_outage_leaves_the_link_budget_alone(self):
+        """Starving the rectenna must not also fade the data link."""
+        from repro.core.ask_fsk import AskFskConfig
+        from repro.core.link import perturb_breakdown
+        from repro.experiments.chaos import _facing_link
+
+        clean = _facing_link(3.0).snr_breakdown()
+        dark = perturb_breakdown(clean,
+                                 LinkDisturbance(harvest_scale=0.0),
+                                 AskFskConfig())
+        assert dark.ask_snr_db == clean.ask_snr_db
+        assert dark.fsk_snr_db == clean.fsk_snr_db

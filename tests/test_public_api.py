@@ -18,7 +18,7 @@ PACKAGES = [
     "repro", "repro.core", "repro.phy", "repro.antenna", "repro.channel",
     "repro.hardware", "repro.node", "repro.network", "repro.baselines",
     "repro.sim", "repro.experiments", "repro.transport", "repro.cluster",
-    "repro.telemetry", "repro.engine",
+    "repro.telemetry", "repro.engine", "repro.energy",
 ]
 
 
